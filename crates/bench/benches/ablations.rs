@@ -1,0 +1,109 @@
+//! Design-choice ablations beyond the paper's own figures (DESIGN.md §4).
+//!
+//! * **Granularity sweep** — the paper fixes `g` to the NUMA node size
+//!   (§3.5) after initial testing; this bench sweeps `g` on CG so the choice
+//!   is reproducible rather than asserted.
+//! * **Strict-fraction sweep** — the fraction of NUMA-strict chunks under
+//!   the `full` steal policy is "implementation-specific" in the paper;
+//!   swept here on the wavefront-imbalanced LU.
+//! * **Steal-trial ablation** — ILAN with the post-search `full`-policy
+//!   trial disabled (strict forever), isolating what adaptive inter-node
+//!   stealing buys on an imbalanced workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan::{IlanParams, IlanScheduler};
+use ilan_numasim::{MachineParams, SimMachine};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, Workload};
+use std::time::Duration;
+
+fn run_with(params: IlanParams, workload: Workload, seed: u64) -> Duration {
+    let topo = params.topology.clone();
+    let mut app = workload.sim_app(&topo, Scale::Quick);
+    app.steps = app.steps.min(12);
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo), seed);
+    let mut policy = IlanScheduler::new(params);
+    let stats = app.run(&mut machine, &mut policy);
+    Duration::from_nanos(stats.wall_time_ns() as u64)
+}
+
+fn granularity_sweep(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("ablate-granularity");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for g in [2usize, 4, 8, 16, 32] {
+        group.bench_function(format!("cg/g={g}"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|seed| {
+                        run_with(
+                            IlanParams::for_topology(&topo).granularity(g),
+                            Workload::Cg,
+                            seed,
+                        )
+                    })
+                    .sum()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn strict_fraction_sweep(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("ablate-strict-fraction");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for pct in [0usize, 25, 50, 75, 100] {
+        group.bench_function(format!("lu/strict={pct}%"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|seed| {
+                        run_with(
+                            IlanParams::for_topology(&topo).strict_fraction(pct as f64 / 100.0),
+                            Workload::Lu,
+                            seed,
+                        )
+                    })
+                    .sum()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn steal_trial_ablation(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("ablate-steal-trial");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for (name, with_trial) in [("with-trial", true), ("strict-only", false)] {
+        group.bench_function(format!("lu/{name}"), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|seed| {
+                        let params = if with_trial {
+                            IlanParams::for_topology(&topo)
+                        } else {
+                            IlanParams::for_topology(&topo).without_steal_trial()
+                        };
+                        run_with(params, Workload::Lu, seed)
+                    })
+                    .sum()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    granularity_sweep,
+    strict_fraction_sweep,
+    steal_trial_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 2 as a Criterion benchmark: simulated wall time of every paper
+//! benchmark under the default baseline and under ILAN.
+//!
+//! Measurements are **simulated seconds** (via `iter_custom`), so the ratio
+//! baseline/ilan per benchmark is the paper's normalized speedup. Run with
+//! `cargo bench -p ilan-bench --bench fig2_speedup`; the printed text tables
+//! come from `cargo run -p ilan-bench --bin repro -- fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_bench::{collect::simulated_duration, Scheduler};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, ALL_WORKLOADS};
+use std::time::Duration;
+
+fn fig2(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("fig2");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for workload in ALL_WORKLOADS {
+        for scheduler in [Scheduler::Baseline, Scheduler::Ilan] {
+            group.bench_function(format!("{}/{}", workload.name(), scheduler.name()), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|seed| {
+                            simulated_duration(workload, scheduler, &topo, Scale::Quick, 10, seed)
+                        })
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 3 as a Criterion benchmark: the cost of ILAN's moldability on the
+//! two benchmarks it molds (CG, SP) versus two it leaves alone (FT, Matmul),
+//! reported in simulated time. The actual thread counts per benchmark are
+//! printed by `repro -- fig3`; this bench tracks that the molded
+//! configurations stay profitable over time (regressions here mean the
+//! search started settling on worse configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_bench::{collect::simulated_duration, Scheduler};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, Workload};
+use std::time::Duration;
+
+fn fig3(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("fig3");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    // The two molded benchmarks and two kept-at-64 controls.
+    for workload in [Workload::Cg, Workload::Sp, Workload::Ft, Workload::Matmul] {
+        group.bench_function(format!("{}/ilan-settled", workload.name()), |b| {
+            b.iter_custom(|iters| {
+                (0..iters)
+                    .map(|seed| {
+                        simulated_duration(workload, Scheduler::Ilan, &topo, Scale::Quick, 14, seed)
+                    })
+                    .sum()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 4 as a Criterion benchmark: the no-moldability ablation.
+//!
+//! Three-way comparison per benchmark — baseline, full ILAN, ILAN without
+//! moldability — in simulated time. The CG row is the interesting one: the
+//! paper found hierarchical-only scheduling *loses* on CG while full ILAN
+//! wins, isolating moldability's contribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_bench::{collect::simulated_duration, Scheduler};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, Workload};
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("fig4");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for workload in [Workload::Cg, Workload::Sp, Workload::Bt] {
+        for scheduler in [Scheduler::Baseline, Scheduler::Ilan, Scheduler::IlanNoMold] {
+            group.bench_function(format!("{}/{}", workload.name(), scheduler.name()), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|seed| {
+                            simulated_duration(workload, scheduler, &topo, Scale::Quick, 10, seed)
+                        })
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5 as a Criterion benchmark: accumulated scheduling overhead.
+//!
+//! Reports the *overhead* component (queue operations, steals, idle-loop
+//! tails, configuration selection) as the measured duration, per benchmark
+//! and scheduler. `repro -- fig5` prints the normalized table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan::Policy;
+use ilan_bench::Scheduler;
+use ilan_numasim::{MachineParams, SimMachine};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, Workload};
+use std::time::Duration;
+
+fn overhead_duration(workload: Workload, scheduler: Scheduler, seed: u64) -> Duration {
+    let topo = presets::epyc_9354_2s();
+    let mut app = workload.sim_app(&topo, Scale::Quick);
+    app.steps = app.steps.min(10);
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo), seed);
+    let mut policy: Box<dyn Policy> = scheduler.make_policy(&topo);
+    let stats = app.run(&mut machine, policy.as_mut());
+    Duration::from_nanos(stats.total_overhead_ns as u64)
+}
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5-overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for workload in [Workload::Cg, Workload::Matmul, Workload::Ft, Workload::Sp] {
+        for scheduler in [Scheduler::Baseline, Scheduler::Ilan] {
+            group.bench_function(format!("{}/{}", workload.name(), scheduler.name()), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|seed| overhead_duration(workload, scheduler, seed))
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 as a Criterion benchmark: ILAN vs static work-sharing vs the
+//! baseline, in simulated time.
+//!
+//! The paper's two poles are FT (perfectly balanced: work-sharing wins) and
+//! CG (imbalanced: ILAN wins clearly); both are benched here along with LU
+//! (wavefront imbalance — the other work-sharing-hostile case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_bench::{collect::simulated_duration, Scheduler};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, Workload};
+use std::time::Duration;
+
+fn fig6(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("fig6");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for workload in [Workload::Ft, Workload::Cg, Workload::Lu] {
+        for scheduler in [Scheduler::Baseline, Scheduler::Ilan, Scheduler::WorkSharing] {
+            group.bench_function(format!("{}/{}", workload.name(), scheduler.name()), |b| {
+                b.iter_custom(|iters| {
+                    (0..iters)
+                        .map(|seed| {
+                            simulated_duration(workload, scheduler, &topo, Scale::Quick, 10, seed)
+                        })
+                        .sum()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

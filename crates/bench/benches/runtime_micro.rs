@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the native work-stealing runtime (real wall time).
+//!
+//! These quantify the runtime-substrate costs the simulator parameterizes:
+//! taskloop dispatch latency, per-chunk scheduling cost in each execution
+//! mode, and the cost of a pool round-trip with trivial bodies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ilan_runtime::{ExecMode, PinMode, PoolConfig, StealPolicy, ThreadPool};
+use ilan_topology::presets;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn modes() -> Vec<(&'static str, ExecMode)> {
+    let topo = presets::tiny_2x4();
+    vec![
+        ("flat", ExecMode::Flat),
+        ("worksharing", ExecMode::WorkSharing),
+        (
+            "hier-strict",
+            ExecMode::Hierarchical {
+                mask: topo.all_nodes(),
+                threads: 0,
+                strict_fraction: 1.0,
+                policy: StealPolicy::Strict,
+            },
+        ),
+        (
+            "hier-full",
+            ExecMode::Hierarchical {
+                mask: topo.all_nodes(),
+                threads: 0,
+                strict_fraction: 0.5,
+                policy: StealPolicy::Full,
+            },
+        ),
+    ]
+}
+
+/// Empty-body taskloop: pure scheduling cost per invocation.
+fn dispatch_latency(c: &mut Criterion) {
+    let pool =
+        ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).expect("pool");
+    let mut group = c.benchmark_group("dispatch-latency");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
+    for (name, mode) in modes() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                pool.taskloop(0..256, 4, mode.clone(), |r| {
+                    black_box(r.start);
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Compute-heavy taskloop: mode overhead relative to real work.
+fn loaded_taskloop(c: &mut Criterion) {
+    let pool =
+        ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).expect("pool");
+    let mut group = c.benchmark_group("loaded-taskloop");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
+    let data: Vec<f64> = (0..200_000).map(|i| i as f64).collect();
+    for (name, mode) in modes() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                let acc_ref = &mut acc;
+                let r = pool.taskloop(0..data.len(), 1024, mode.clone(), |range| {
+                    black_box(data[range].iter().map(|x| x.sqrt()).sum::<f64>());
+                });
+                *acc_ref += r.makespan.as_secs_f64();
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pool construction/teardown (thread spawn + pinning attempts).
+fn pool_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool-lifecycle");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("create-drop-8-workers", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let pool =
+                    ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never))
+                        .expect("pool");
+                black_box(pool.num_workers());
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dispatch_latency, loaded_taskloop, pool_lifecycle);
+criterion_main!(benches);

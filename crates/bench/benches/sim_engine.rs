@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the simulator engine itself (real wall time): how
+//! fast the fluid-rate event loop retires simulated chunks. Useful when
+//! extending the memory model — regressions here multiply across the whole
+//! reproduction harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ilan_numasim::{Locality, MachineParams, PlacementPlan, SimMachine, TaskSpec};
+use ilan_topology::{presets, NodeId};
+use std::time::Duration;
+
+fn tasks(n: usize, nodes: usize, scattered: bool) -> Vec<TaskSpec> {
+    (0..n)
+        .map(|i| TaskSpec {
+            compute_ns: 20_000.0,
+            mem_bytes: 400_000.0,
+            home_node: NodeId::new(i * nodes / n),
+            locality: if scattered {
+                Locality::Scattered { spread: 0.8 }
+            } else {
+                Locality::Chunked
+            },
+            data_mask: ilan_topology::NodeMask::first_n(nodes),
+            cache_reuse: 0.2,
+            fits_l3: true,
+        })
+        .collect()
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("sim-engine");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
+    for (name, scattered) in [("chunked", false), ("scattered", true)] {
+        for chunks in [256usize, 2048] {
+            let specs = tasks(chunks, topo.num_nodes(), scattered);
+            group.throughput(Throughput::Elements(chunks as u64));
+            group.bench_function(format!("{name}/{chunks}-chunks"), |b| {
+                let cores = topo.cpuset_of_mask(topo.all_nodes());
+                b.iter(|| {
+                    let mut m = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
+                    m.run_taskloop(&cores, &PlacementPlan::flat(), &specs)
+                        .tasks_executed()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 1 as a Criterion benchmark: run-to-run variability.
+//!
+//! Criterion's own spread statistics over seeded runs *are* the variance
+//! study: each iteration uses a fresh seed, so the reported std-dev per
+//! benchmark/scheduler corresponds to the paper's Table 1 columns (printed
+//! exactly by `repro -- table1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_bench::{collect::simulated_duration, Scheduler};
+use ilan_topology::presets;
+use ilan_workloads::{Scale, ALL_WORKLOADS};
+use std::cell::Cell;
+use std::time::Duration;
+
+fn table1(c: &mut Criterion) {
+    let topo = presets::epyc_9354_2s();
+    let mut group = c.benchmark_group("table1-variance");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
+    for workload in ALL_WORKLOADS {
+        for scheduler in [Scheduler::Baseline, Scheduler::Ilan] {
+            // A distinct seed per criterion sample: the measured spread is
+            // seed-to-seed (run-to-run) variance, not timer noise.
+            let next_seed = Cell::new(0u64);
+            group.bench_function(format!("{}/{}", workload.name(), scheduler.name()), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let seed = next_seed.get();
+                        next_seed.set(seed + 1);
+                        total +=
+                            simulated_duration(workload, scheduler, &topo, Scale::Quick, 8, seed);
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

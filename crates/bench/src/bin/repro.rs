@@ -1,0 +1,153 @@
+//! `repro` — regenerate the ILAN paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ilan-bench --bin repro -- all
+//! cargo run --release -p ilan-bench --bin repro -- fig2 --runs 30
+//! cargo run --release -p ilan-bench --bin repro -- table1 --quick --out results/
+//! ```
+//!
+//! Artifacts: `fig2` (speedup), `fig3` (thread counts), `fig4`
+//! (no-moldability ablation), `fig5` (scheduling overhead), `fig6`
+//! (work-sharing comparison), `table1` (variance), `all`.
+//!
+//! Options: `--runs N` (default 30, the paper's repetition count),
+//! `--quick` (scaled-down workloads for a fast smoke pass),
+//! `--out DIR` (also write CSVs), `--topology zen4|rome|xeon` or a spec
+//! like `2x4x8:ccd=4` (see `ilan_topology::parse_spec`).
+
+use ilan_bench::{collect, figures, Scheduler, ALL_SCHEDULERS};
+use ilan_topology::{presets, Topology};
+use ilan_workloads::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    artifact: String,
+    runs: usize,
+    scale: Scale,
+    out: Option<PathBuf>,
+    topology: Topology,
+}
+
+fn usage() -> &'static str {
+    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|all> \
+     [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]]"
+}
+
+fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let artifact = argv.next().ok_or_else(|| usage().to_string())?;
+    let mut args = Args {
+        artifact,
+        runs: 30,
+        scale: Scale::Paper,
+        out: None,
+        topology: presets::epyc_9354_2s(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--runs" => {
+                let v = argv.next().ok_or("--runs needs a value")?;
+                args.runs = v.parse().map_err(|_| format!("bad --runs value {v}"))?;
+                if args.runs == 0 {
+                    return Err("--runs must be positive".into());
+                }
+            }
+            "--quick" => args.scale = Scale::Quick,
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                args.out = Some(PathBuf::from(v));
+            }
+            "--topology" => {
+                let v = argv.next().ok_or("--topology needs a name")?;
+                args.topology = match v.as_str() {
+                    "zen4" => presets::epyc_9354_2s(),
+                    "rome" => presets::epyc_7742_1s_nps4(),
+                    "xeon" => presets::xeon_8280_2s(),
+                    spec => ilan_topology::parse_spec(spec)
+                        .map_err(|e| format!("bad topology `{spec}`: {e}"))?,
+                };
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let valid = [
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "table1",
+        "sites",
+        "converge",
+        "bandwidth",
+        "all",
+    ];
+    if !valid.contains(&args.artifact.as_str()) {
+        eprintln!("unknown artifact {}\n{}", args.artifact, usage());
+        return ExitCode::FAILURE;
+    }
+
+    if args.artifact == "sites" {
+        // Per-site settled configurations need no collection pass.
+        println!("{}", figures::fig3_details(&args.topology, args.scale));
+        return ExitCode::SUCCESS;
+    }
+    if args.artifact == "converge" {
+        println!("{}", figures::converge(&args.topology, args.scale));
+        return ExitCode::SUCCESS;
+    }
+
+    // Which schedulers does the requested artifact need?
+    let schedulers: Vec<Scheduler> = match args.artifact.as_str() {
+        "fig2" | "table1" | "fig5" | "bandwidth" => {
+            vec![Scheduler::Baseline, Scheduler::Ilan]
+        }
+        "fig3" => vec![Scheduler::Baseline, Scheduler::Ilan],
+        "fig4" => vec![Scheduler::Baseline, Scheduler::Ilan, Scheduler::IlanNoMold],
+        "fig6" => vec![Scheduler::Baseline, Scheduler::Ilan, Scheduler::WorkSharing],
+        _ => ALL_SCHEDULERS.to_vec(),
+    };
+
+    eprintln!(
+        "machine: {} | runs: {} | scale: {:?}",
+        args.topology.summary(),
+        args.runs,
+        args.scale
+    );
+    let started = std::time::Instant::now();
+    let c = collect(&args.topology, &schedulers, args.scale, args.runs);
+    eprintln!("collection took {:.1}s", started.elapsed().as_secs_f64());
+
+    let out = args.out.as_deref();
+    let render = |name: &str| match name {
+        "fig2" => figures::fig2(&c, out),
+        "fig3" => figures::fig3(&c, out),
+        "fig4" => figures::fig4(&c, out),
+        "fig5" => figures::fig5(&c, out),
+        "fig6" => figures::fig6(&c, out),
+        "table1" => figures::table1(&c, out),
+        "bandwidth" => figures::bandwidth(&c, out),
+        _ => unreachable!(),
+    };
+
+    if args.artifact == "all" {
+        for name in ["fig2", "fig3", "fig4", "table1", "fig5", "fig6", "bandwidth"] {
+            println!("{}", render(name));
+        }
+    } else {
+        println!("{}", render(&args.artifact));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,162 @@
+//! Table and CSV formatting for the reproduction output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table with a title, printed like the paper's rows.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(s, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(s, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no alignment, comma-separated).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV next to the printed output (best effort; IO errors are
+    /// reported on stderr, not fatal — the printed table is the artifact).
+    pub fn save_csv(&self, dir: &Path, name: &str) {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_csv()))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Formats a ratio as a percentage delta: `1.132` → `+13.2%`.
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// An ASCII bar visualizing `value` against `max` in `width` columns —
+/// the printed tables double as the paper's bar charts.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if !(value.is_finite() && max.is_finite()) || max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let cols = ((value / max) * width as f64).round() as usize;
+    "█".repeat(cols.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["bench", "speedup"]);
+        t.row(vec!["FT".into(), "1.12".into()]);
+        t.row(vec!["LULESH".into(), "1.02".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("bench"));
+        assert!(s.contains("LULESH"));
+        // Alignment: both data rows same width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["has,comma".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.132), "+13.2%");
+        assert_eq!(pct(0.914), "-8.6%");
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(f64::NAN, 10.0, 10), "");
+    }
+}

@@ -1,0 +1,358 @@
+//! Taskloop configuration selection — the paper's Algorithm 1.
+//!
+//! Given the PTT state of one site, the configuration used by the previous
+//! invocation, the invocation counter `k` and the thread-count granularity
+//! `g`, [`select_threads`] produces the thread count to explore next and
+//! whether the search has converged. The exploration is binary-search-like:
+//!
+//! * invocations 1 and 2 (handled by the scheduler, not here) prime the PTT
+//!   with `m_max` and `m_max/2` threads;
+//! * at `k = 3`, if the half-machine configuration won, the smallest
+//!   configuration (`g` threads) is explored, opening the lower half of the
+//!   search space;
+//! * otherwise the midpoint between the fastest and second-fastest explored
+//!   configurations is tried, rounded down to the granularity;
+//! * the search finishes when the two best configurations are within one
+//!   granularity step, or when the midpoint has already just been executed.
+//!
+//! One transcription note: the paper's pseudocode reads
+//! `cfg_cur.threads ← g; if cfg_cur.threads = g then search_finished ← true`
+//! in the `k = 3` branch, which as written would always finish immediately
+//! without measuring `g`. We implement the evidently intended semantics:
+//! finish only if the *best* configuration already uses `g` threads (nothing
+//! below it exists to explore); otherwise explore `g` and continue searching.
+
+use crate::ptt::SiteTable;
+
+/// Inputs to one selection step (invocation `k ≥ 3`).
+#[derive(Clone, Copy, Debug)]
+pub struct SelectionInput<'a> {
+    /// The site's PTT table (must contain at least two configurations).
+    pub table: &'a SiteTable,
+    /// Thread count used by the immediately preceding invocation.
+    pub current_threads: usize,
+    /// The 1-based index of the invocation being configured.
+    pub k: u64,
+    /// Thread-count granularity `g` (paper default: the NUMA node size).
+    pub granularity: usize,
+    /// What the search minimizes (the paper uses [`Objective::Time`]).
+    ///
+    /// [`Objective::Time`]: crate::Objective::Time
+    pub objective: crate::Objective,
+}
+
+/// Result of one selection step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Thread count for the next invocation.
+    pub threads: usize,
+    /// Whether the search has converged (the returned `threads` is the final
+    /// choice, and the steal-policy trial may begin).
+    pub search_finished: bool,
+}
+
+/// Runs one step of Algorithm 1.
+///
+/// # Panics
+/// Panics if the table has fewer than two explored configurations (the two
+/// priming runs must precede the search) or if `granularity == 0`.
+pub fn select_threads(input: SelectionInput<'_>) -> Selection {
+    let g = input.granularity;
+    assert!(g > 0, "granularity must be positive");
+    let best = input
+        .table
+        .best_by(input.objective)
+        .expect("Algorithm 1 requires two prior executions");
+    let second = input
+        .table
+        .second_by(input.objective)
+        .expect("Algorithm 1 requires two prior executions");
+
+    let threads_diff = best.threads.abs_diff(second.threads);
+    let lower_bound = best.threads.min(second.threads);
+    // Midpoint rounded down to meet the granularity.
+    let midpoint_threads = lower_bound + (threads_diff / 2) / g * g;
+
+    if input.k == 3 && best.threads < second.threads {
+        // Best previous cfg is the smallest in the PTT: explore the smallest
+        // possible configuration (g threads) — unless it is already the best.
+        if best.threads == g {
+            Selection {
+                threads: best.threads,
+                search_finished: true,
+            }
+        } else {
+            Selection {
+                threads: g,
+                search_finished: false,
+            }
+        }
+    } else if threads_diff <= g {
+        // Thread counts within one granularity step: optimum found.
+        Selection {
+            threads: best.threads,
+            search_finished: true,
+        }
+    } else if input.current_threads == midpoint_threads {
+        // The midpoint was just executed: settle on the best.
+        Selection {
+            threads: best.threads,
+            search_finished: true,
+        }
+    } else {
+        Selection {
+            threads: midpoint_threads,
+            search_finished: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptt::Ptt;
+    use crate::report::TaskloopReport;
+    use crate::site::SiteId;
+    use ilan_runtime::StealPolicy;
+    use ilan_topology::NodeMask;
+
+    const SITE: SiteId = SiteId::new(0);
+
+    fn table_with(times: &[(usize, f64)]) -> Ptt {
+        let mut ptt = Ptt::new();
+        for &(threads, t) in times {
+            ptt.record(
+                SITE,
+                threads,
+                NodeMask::first_n(8),
+                StealPolicy::Strict,
+                &TaskloopReport::synthetic(t, threads),
+            );
+        }
+        ptt
+    }
+
+    fn step(ptt: &Ptt, current: usize, k: u64, g: usize) -> Selection {
+        select_threads(SelectionInput {
+            table: ptt.site(SITE).unwrap(),
+            current_threads: current,
+            k,
+            granularity: g,
+            objective: crate::Objective::Time,
+        })
+    }
+
+    #[test]
+    fn k3_explores_smallest_when_half_won() {
+        // 32 faster than 64: probe the lowest configuration.
+        let ptt = table_with(&[(64, 100.0), (32, 60.0)]);
+        let s = step(&ptt, 32, 3, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 8,
+                search_finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn k3_finishes_if_best_is_already_g() {
+        // Two-node machine: m_max/2 == g == 8 and it won.
+        let ptt = table_with(&[(16, 100.0), (8, 60.0)]);
+        let s = step(&ptt, 8, 3, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 8,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn k3_midpoint_upward_when_full_machine_won() {
+        // 64 faster than 32: general case at k=3 → midpoint 48.
+        let ptt = table_with(&[(64, 60.0), (32, 100.0)]);
+        let s = step(&ptt, 32, 3, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 48,
+                search_finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn finishes_when_within_one_granularity() {
+        let ptt = table_with(&[(64, 60.0), (56, 70.0), (32, 100.0)]);
+        let s = step(&ptt, 56, 5, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 64,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn finishes_when_midpoint_already_executed() {
+        // best 8 (40), second 32 (60): midpoint = 8 + (24/2)/8*8 = 16.
+        // If 16 was just executed and ranks third, settle on 8.
+        let ptt = table_with(&[(64, 100.0), (32, 60.0), (8, 40.0), (16, 62.0)]);
+        let s = step(&ptt, 16, 5, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 8,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn explores_midpoint_between_best_two() {
+        // best 8 (40), second 32 (60): midpoint 16.
+        let ptt = table_with(&[(64, 100.0), (32, 60.0), (8, 40.0)]);
+        let s = step(&ptt, 8, 4, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 16,
+                search_finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn full_search_sequence_memory_bound() {
+        // Times strictly improve as threads shrink to 8.
+        // Priming: 64 → 100, 32 → 60 (recorded before the search starts).
+        let mut ptt = table_with(&[(64, 100.0), (32, 60.0)]);
+        // k=3: explore g=8.
+        let s3 = step(&ptt, 32, 3, 8);
+        assert_eq!(s3.threads, 8);
+        ptt.record(
+            SITE,
+            8,
+            NodeMask::first_n(1),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(40.0, 8),
+        );
+        // k=4: best 8, second 32 → midpoint 16.
+        let s4 = step(&ptt, 8, 4, 8);
+        assert_eq!(s4.threads, 16);
+        ptt.record(
+            SITE,
+            16,
+            NodeMask::first_n(2),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(45.0, 16),
+        );
+        // k=5: best 8, second 16, diff ≤ g → finished at 8.
+        let s5 = step(&ptt, 16, 5, 8);
+        assert_eq!(
+            s5,
+            Selection {
+                threads: 8,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn full_search_sequence_compute_bound() {
+        // Times strictly improve with more threads.
+        let mut ptt = table_with(&[(64, 60.0), (32, 100.0)]);
+        let s3 = step(&ptt, 32, 3, 8);
+        assert_eq!(s3.threads, 48); // midpoint of 32..64
+        ptt.record(
+            SITE,
+            48,
+            NodeMask::first_n(6),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(75.0, 48),
+        );
+        // best 64, second 48 → midpoint 56.
+        let s4 = step(&ptt, 48, 4, 8);
+        assert_eq!(s4.threads, 56);
+        ptt.record(
+            SITE,
+            56,
+            NodeMask::first_n(7),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(65.0, 56),
+        );
+        // best 64, second 56 → within g → settle on 64.
+        let s5 = step(&ptt, 56, 5, 8);
+        assert_eq!(
+            s5,
+            Selection {
+                threads: 64,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn interior_optimum_converges() {
+        // Optimum at 16 threads: t(8)=50, t(16)=35, t(32)=60, t(64)=100.
+        let mut ptt = table_with(&[(64, 100.0), (32, 60.0)]);
+        assert_eq!(step(&ptt, 32, 3, 8).threads, 8);
+        ptt.record(
+            SITE,
+            8,
+            NodeMask::first_n(1),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(50.0, 8),
+        );
+        // best 8(50), second 32(60) → midpoint 16.
+        assert_eq!(step(&ptt, 8, 4, 8).threads, 16);
+        ptt.record(
+            SITE,
+            16,
+            NodeMask::first_n(2),
+            StealPolicy::Strict,
+            &TaskloopReport::synthetic(35.0, 16),
+        );
+        // best 16(35), second 8(50): diff ≤ g → settle on 16.
+        let s = step(&ptt, 16, 5, 8);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 16,
+                search_finished: true
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two prior executions")]
+    fn requires_two_entries() {
+        let ptt = table_with(&[(64, 100.0)]);
+        step(&ptt, 64, 3, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn rejects_zero_granularity() {
+        let ptt = table_with(&[(64, 100.0), (32, 60.0)]);
+        step(&ptt, 32, 3, 0);
+    }
+
+    #[test]
+    fn granularity_one_fine_search() {
+        // g = 1 on a small machine: midpoints at single-thread resolution.
+        let ptt = table_with(&[(8, 100.0), (4, 60.0)]);
+        let s = step(&ptt, 4, 3, 1);
+        assert_eq!(
+            s,
+            Selection {
+                threads: 1,
+                search_finished: false
+            }
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Scheduling decisions.
+
+use ilan_runtime::{ExecMode, StealPolicy};
+use ilan_topology::NodeMask;
+
+/// What a [`Policy`](crate::Policy) decided for one taskloop invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Default flat tasking: one shared queue, all workers.
+    Flat,
+    /// OpenMP static work-sharing: fixed slices, all workers.
+    WorkSharing,
+    /// ILAN hierarchical execution with an explicit taskloop configuration
+    /// (the paper's `(num_threads, node_mask, steal_policy)` triple).
+    Hierarchical {
+        /// Active thread count (`num_threads`).
+        threads: usize,
+        /// Eligible NUMA nodes (`node_mask`).
+        mask: NodeMask,
+        /// Inter-node stealing policy (`steal_policy`).
+        steal: StealPolicy,
+        /// Fraction of each node's chunks that are NUMA-strict when
+        /// `steal == Full` (implementation-specific per the paper §3.1).
+        strict_fraction: f64,
+    },
+}
+
+impl Decision {
+    /// The thread count, if the decision pins one (hierarchical only).
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            Decision::Hierarchical { threads, .. } => Some(*threads),
+            _ => None,
+        }
+    }
+
+    /// The node mask, if the decision pins one.
+    pub fn mask(&self) -> Option<NodeMask> {
+        match self {
+            Decision::Hierarchical { mask, .. } => Some(*mask),
+            _ => None,
+        }
+    }
+
+    /// The steal policy, if the decision pins one.
+    pub fn steal(&self) -> Option<StealPolicy> {
+        match self {
+            Decision::Hierarchical { steal, .. } => Some(*steal),
+            _ => None,
+        }
+    }
+
+    /// Translates the decision into the native runtime's execution mode.
+    pub fn to_exec_mode(&self) -> ExecMode {
+        match self {
+            Decision::Flat => ExecMode::Flat,
+            Decision::WorkSharing => ExecMode::WorkSharing,
+            Decision::Hierarchical {
+                threads,
+                mask,
+                steal,
+                strict_fraction,
+            } => ExecMode::Hierarchical {
+                mask: *mask,
+                threads: *threads,
+                strict_fraction: *strict_fraction,
+                policy: *steal,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Decision::Flat.threads(), None);
+        assert_eq!(Decision::WorkSharing.mask(), None);
+        let d = Decision::Hierarchical {
+            threads: 16,
+            mask: NodeMask::first_n(2),
+            steal: StealPolicy::Strict,
+            strict_fraction: 1.0,
+        };
+        assert_eq!(d.threads(), Some(16));
+        assert_eq!(d.mask(), Some(NodeMask::first_n(2)));
+        assert_eq!(d.steal(), Some(StealPolicy::Strict));
+    }
+
+    #[test]
+    fn exec_mode_translation() {
+        assert!(matches!(Decision::Flat.to_exec_mode(), ExecMode::Flat));
+        assert!(matches!(
+            Decision::WorkSharing.to_exec_mode(),
+            ExecMode::WorkSharing
+        ));
+        let d = Decision::Hierarchical {
+            threads: 8,
+            mask: NodeMask::first_n(1),
+            steal: StealPolicy::Full,
+            strict_fraction: 0.5,
+        };
+        match d.to_exec_mode() {
+            ExecMode::Hierarchical {
+                threads,
+                mask,
+                strict_fraction,
+                policy,
+            } => {
+                assert_eq!(threads, 8);
+                assert_eq!(mask, NodeMask::first_n(1));
+                assert_eq!(strict_fraction, 0.5);
+                assert_eq!(policy, StealPolicy::Full);
+            }
+            other => panic!("wrong mode {other:?}"),
+        }
+    }
+}

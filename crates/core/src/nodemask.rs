@@ -1,0 +1,101 @@
+//! Node-mask selection (paper §3.2).
+//!
+//! "The fastest NUMA node is retrieved from the PTT and is selected as the
+//! first node of the node mask. To maintain good data locality and efficient
+//! inter-node data communication, any additional nodes are chosen according
+//! to the NUMA topology — nodes within the same socket are prioritized over
+//! nodes crossing socket domains."
+
+use crate::ptt::SiteTable;
+use ilan_topology::{NodeId, NodeMask, Topology};
+
+/// Number of nodes needed to host `threads` threads at node granularity.
+pub fn nodes_needed(topology: &Topology, threads: usize) -> usize {
+    threads
+        .div_ceil(topology.cores_per_node())
+        .clamp(1, topology.num_nodes())
+}
+
+/// Selects the node mask for a configuration with `threads` threads.
+///
+/// The seed node is the fastest node recorded in the site's PTT (falling
+/// back to node 0 before any history exists); the mask grows around it
+/// nearest-first via the topology's distance matrix.
+pub fn select_mask(topology: &Topology, table: Option<&SiteTable>, threads: usize) -> NodeMask {
+    let want = nodes_needed(topology, threads);
+    if want >= topology.num_nodes() {
+        return topology.all_nodes();
+    }
+    let seed = table
+        .and_then(|t| t.fastest_node())
+        .unwrap_or(NodeId::new(0));
+    topology.grow_mask(seed, want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptt::Ptt;
+    use crate::report::TaskloopReport;
+    use crate::site::SiteId;
+    use ilan_runtime::StealPolicy;
+    use ilan_topology::presets;
+
+    #[test]
+    fn nodes_needed_rounds_up() {
+        let t = presets::epyc_9354_2s();
+        assert_eq!(nodes_needed(&t, 1), 1);
+        assert_eq!(nodes_needed(&t, 8), 1);
+        assert_eq!(nodes_needed(&t, 9), 2);
+        assert_eq!(nodes_needed(&t, 64), 8);
+        assert_eq!(nodes_needed(&t, 1000), 8);
+    }
+
+    #[test]
+    fn full_machine_uses_all_nodes() {
+        let t = presets::epyc_9354_2s();
+        assert_eq!(select_mask(&t, None, 64), t.all_nodes());
+    }
+
+    #[test]
+    fn no_history_seeds_node_zero() {
+        let t = presets::epyc_9354_2s();
+        let m = select_mask(&t, None, 16);
+        assert_eq!(m.count(), 2);
+        assert!(m.contains(NodeId::new(0)));
+        assert!(m.contains(NodeId::new(1))); // same socket neighbour
+    }
+
+    #[test]
+    fn seeds_fastest_node_and_stays_on_socket() {
+        let t = presets::epyc_9354_2s();
+        let mut ptt = Ptt::new();
+        let site = SiteId::new(0);
+        // Node 6 (socket 1) is observed fastest.
+        let mut speeds = vec![0.5; 8];
+        speeds[6] = 0.95;
+        let report = TaskloopReport {
+            node_speed: speeds,
+            ..TaskloopReport::synthetic(100.0, 64)
+        };
+        ptt.record(site, 64, t.all_nodes(), StealPolicy::Strict, &report);
+        let m = select_mask(&t, ptt.site(site), 24);
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(NodeId::new(6)));
+        for n in m.iter() {
+            assert_eq!(t.socket_of_node(n).index(), 1, "mask must stay on socket 1");
+        }
+    }
+
+    #[test]
+    fn spills_cross_socket_only_when_needed() {
+        let t = presets::epyc_9354_2s();
+        let m = select_mask(&t, None, 40); // 5 nodes
+        assert_eq!(m.count(), 5);
+        let same_socket = m
+            .iter()
+            .filter(|&n| t.socket_of_node(n).index() == 0)
+            .count();
+        assert_eq!(same_socket, 4, "first socket fully used before crossing");
+    }
+}

@@ -1,0 +1,74 @@
+//! Optimization objectives for configuration selection.
+//!
+//! The paper samples only execution time, but notes (§3.5) that the PTT
+//! machinery "can, for example, instead be used to locate and employ the
+//! optimal configuration based on other metrics, such as energy efficiency"
+//! (citing JOSS and SWEEP). This module implements that extension: the
+//! scheduler scores PTT entries through an [`Objective`], so the same
+//! Algorithm-1 search can minimize time, an energy proxy, or energy-delay
+//! product.
+//!
+//! Without per-core power telemetry the energy proxy assumes active cores
+//! draw roughly constant power, so `E ∝ threads × time` — the classic
+//! first-order CMP model (Suleman et al.'s FDT uses the same reasoning).
+
+/// What the configuration search minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Wall time — the paper's configuration.
+    #[default]
+    Time,
+    /// Energy proxy: active threads × time (core-seconds).
+    Energy,
+    /// Energy-delay product: threads × time².
+    EnergyDelay,
+}
+
+impl Objective {
+    /// The score of a configuration (lower is better).
+    pub fn score(self, threads: usize, time_ns: f64) -> f64 {
+        match self {
+            Objective::Time => time_ns,
+            Objective::Energy => threads as f64 * time_ns,
+            Objective::EnergyDelay => threads as f64 * time_ns * time_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ignores_threads() {
+        assert_eq!(Objective::Time.score(64, 100.0), 100.0);
+        assert_eq!(Objective::Time.score(8, 100.0), 100.0);
+    }
+
+    #[test]
+    fn energy_prefers_fewer_threads_at_equal_time() {
+        let full = Objective::Energy.score(64, 100.0);
+        let half = Objective::Energy.score(32, 100.0);
+        assert!(half < full);
+        // But not at any cost: 32 threads twice as slow loses.
+        assert!(Objective::Energy.score(32, 210.0) > full);
+    }
+
+    #[test]
+    fn edp_is_between_time_and_energy() {
+        // 32 threads, 1.3× slower: time says worse, energy says better.
+        let t64 = 100.0;
+        let t32 = 130.0;
+        assert!(Objective::Time.score(32, t32) > Objective::Time.score(64, t64));
+        assert!(Objective::Energy.score(32, t32) < Objective::Energy.score(64, t64));
+        // EDP: 32·130² = 540k vs 64·100² = 640k → still prefers 32 here,
+        // but flips at 1.42× slower (32·142² ≈ 645k).
+        assert!(Objective::EnergyDelay.score(32, t32) < Objective::EnergyDelay.score(64, t64));
+        assert!(Objective::EnergyDelay.score(32, 143.0) > Objective::EnergyDelay.score(64, t64));
+    }
+
+    #[test]
+    fn default_is_time() {
+        assert_eq!(Objective::default(), Objective::Time);
+    }
+}

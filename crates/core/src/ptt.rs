@@ -1,0 +1,353 @@
+//! The Performance Trace Table (PTT).
+//!
+//! The PTT links taskloop configurations to measured execution times
+//! (paper §3.1): per site it stores one entry per explored
+//! `(num_threads, steal_policy)` pair with a running mean of observed wall
+//! times, plus per-node speed statistics that drive the node-mask selection
+//! ("the fastest NUMA node is retrieved from the PTT", §3.2).
+
+use crate::report::TaskloopReport;
+use crate::site::SiteId;
+use ilan_runtime::StealPolicy;
+use ilan_topology::{NodeId, NodeMask};
+use std::collections::HashMap;
+
+/// Incremental mean.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningMean {
+    count: u64,
+    mean: f64,
+}
+
+impl RunningMean {
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.mean += (x - self.mean) / self.count as f64;
+    }
+
+    /// The mean so far (0 if no samples).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// PTT entry: one explored configuration of one site.
+#[derive(Clone, Debug)]
+pub struct ConfigEntry {
+    /// Active thread count of the configuration.
+    pub threads: usize,
+    /// Steal policy the configuration ran with.
+    pub steal: StealPolicy,
+    /// Node mask most recently used with this configuration.
+    pub mask: NodeMask,
+    /// Running mean of wall times, ns.
+    pub time: RunningMean,
+}
+
+/// Per-site table.
+#[derive(Clone, Debug, Default)]
+pub struct SiteTable {
+    entries: Vec<ConfigEntry>,
+    node_speed: Vec<RunningMean>,
+    invocations: u64,
+}
+
+impl SiteTable {
+    /// All explored configurations.
+    pub fn entries(&self) -> &[ConfigEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded invocations of the site.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// The entry for `(threads, steal)`, if explored.
+    pub fn entry(&self, threads: usize, steal: StealPolicy) -> Option<&ConfigEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.threads == threads && e.steal == steal)
+    }
+
+    /// The fastest configuration by mean time (ties: fewer threads, then
+    /// strict before full).
+    pub fn fastest(&self) -> Option<&ConfigEntry> {
+        self.best_by(crate::Objective::Time)
+    }
+
+    /// The second fastest configuration.
+    pub fn second_fastest(&self) -> Option<&ConfigEntry> {
+        self.ranked(crate::Objective::Time).into_iter().nth(1)
+    }
+
+    /// The best configuration under an arbitrary [`Objective`]
+    /// (ties: fewer threads, then strict before full).
+    ///
+    /// [`Objective`]: crate::Objective
+    pub fn best_by(&self, objective: crate::Objective) -> Option<&ConfigEntry> {
+        self.ranked(objective).into_iter().next()
+    }
+
+    /// The runner-up configuration under an arbitrary objective.
+    pub fn second_by(&self, objective: crate::Objective) -> Option<&ConfigEntry> {
+        self.ranked(objective).into_iter().nth(1)
+    }
+
+    fn ranked(&self, objective: crate::Objective) -> Vec<&ConfigEntry> {
+        let mut v: Vec<&ConfigEntry> = self.entries.iter().collect();
+        v.sort_by(|a, b| {
+            objective
+                .score(a.threads, a.time.mean())
+                .partial_cmp(&objective.score(b.threads, b.time.mean()))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.threads.cmp(&b.threads))
+                .then((a.steal == StealPolicy::Full).cmp(&(b.steal == StealPolicy::Full)))
+        });
+        v
+    }
+
+    /// Renders the table for debugging: one line per explored configuration,
+    /// best first under the time objective.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "PTT ({} invocations)", self.invocations);
+        for e in self.ranked(crate::Objective::Time) {
+            let _ = writeln!(
+                out,
+                "  threads={:<3} steal={:<6} mask={:?} mean={:.3}ms over {} run(s)",
+                e.threads,
+                format!("{:?}", e.steal),
+                e.mask,
+                e.time.mean() / 1e6,
+                e.time.count(),
+            );
+        }
+        out
+    }
+
+    /// The node with the best mean observed speed for this site, if any.
+    pub fn fastest_node(&self) -> Option<NodeId> {
+        self.node_speed
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0 && s.mean() > 0.0)
+            .max_by(|(ia, a), (ib, b)| {
+                a.mean()
+                    .partial_cmp(&b.mean())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| NodeId::new(i))
+    }
+}
+
+/// The Performance Trace Table: one [`SiteTable`] per taskloop site.
+#[derive(Clone, Debug, Default)]
+pub struct Ptt {
+    sites: HashMap<SiteId, SiteTable>,
+}
+
+impl Ptt {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation of `site` under the given configuration.
+    pub fn record(
+        &mut self,
+        site: SiteId,
+        threads: usize,
+        mask: NodeMask,
+        steal: StealPolicy,
+        report: &TaskloopReport,
+    ) {
+        let table = self.sites.entry(site).or_default();
+        table.invocations += 1;
+        match table
+            .entries
+            .iter_mut()
+            .find(|e| e.threads == threads && e.steal == steal)
+        {
+            Some(e) => {
+                e.time.push(report.time_ns);
+                e.mask = mask;
+            }
+            None => {
+                let mut time = RunningMean::default();
+                time.push(report.time_ns);
+                table.entries.push(ConfigEntry {
+                    threads,
+                    steal,
+                    mask,
+                    time,
+                });
+            }
+        }
+        if table.node_speed.len() < report.node_speed.len() {
+            table
+                .node_speed
+                .resize(report.node_speed.len(), RunningMean::default());
+        }
+        for (i, &s) in report.node_speed.iter().enumerate() {
+            if s > 0.0 {
+                table.node_speed[i].push(s);
+            }
+        }
+    }
+
+    /// The table for `site`, if it has been recorded.
+    pub fn site(&self, site: SiteId) -> Option<&SiteTable> {
+        self.sites.get(&site)
+    }
+
+    /// Number of invocations recorded for `site`.
+    pub fn invocations(&self, site: SiteId) -> u64 {
+        self.sites.get(&site).map_or(0, |t| t.invocations)
+    }
+
+    /// Number of distinct sites seen.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time: f64, speeds: &[f64]) -> TaskloopReport {
+        TaskloopReport {
+            time_ns: time,
+            threads: 8,
+            node_speed: speeds.to_vec(),
+            sched_overhead_ns: 0.0,
+            migrations: 0,
+            locality: 1.0,
+            dram_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut m = RunningMean::default();
+        assert_eq!(m.mean(), 0.0);
+        m.push(10.0);
+        m.push(20.0);
+        m.push(30.0);
+        assert!((m.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(m.count(), 3);
+    }
+
+    #[test]
+    fn fastest_and_second() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(1);
+        let mask = NodeMask::first_n(8);
+        ptt.record(s, 64, mask, StealPolicy::Strict, &report(100.0, &[]));
+        ptt.record(s, 32, mask, StealPolicy::Strict, &report(60.0, &[]));
+        ptt.record(s, 8, mask, StealPolicy::Strict, &report(80.0, &[]));
+        let t = ptt.site(s).unwrap();
+        assert_eq!(t.fastest().unwrap().threads, 32);
+        assert_eq!(t.second_fastest().unwrap().threads, 8);
+        assert_eq!(t.invocations(), 3);
+    }
+
+    #[test]
+    fn repeated_config_averages() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(2);
+        ptt.record(s, 16, mask, StealPolicy::Strict, &report(100.0, &[]));
+        ptt.record(s, 16, mask, StealPolicy::Strict, &report(200.0, &[]));
+        let e = ptt.site(s).unwrap().entry(16, StealPolicy::Strict).unwrap();
+        assert!((e.time.mean() - 150.0).abs() < 1e-12);
+        assert_eq!(e.time.count(), 2);
+        assert_eq!(ptt.site(s).unwrap().entries().len(), 1);
+    }
+
+    #[test]
+    fn strict_and_full_are_distinct_entries() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(2);
+        ptt.record(s, 16, mask, StealPolicy::Strict, &report(100.0, &[]));
+        ptt.record(s, 16, mask, StealPolicy::Full, &report(90.0, &[]));
+        let t = ptt.site(s).unwrap();
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.fastest().unwrap().steal, StealPolicy::Full);
+    }
+
+    #[test]
+    fn tie_prefers_fewer_threads() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(8);
+        ptt.record(s, 64, mask, StealPolicy::Strict, &report(100.0, &[]));
+        ptt.record(s, 32, mask, StealPolicy::Strict, &report(100.0, &[]));
+        assert_eq!(ptt.site(s).unwrap().fastest().unwrap().threads, 32);
+    }
+
+    #[test]
+    fn fastest_node_tracks_speeds() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(4);
+        ptt.record(
+            s,
+            32,
+            mask,
+            StealPolicy::Strict,
+            &report(100.0, &[0.5, 0.9, 0.7, 0.0]),
+        );
+        ptt.record(
+            s,
+            32,
+            mask,
+            StealPolicy::Strict,
+            &report(100.0, &[0.6, 0.8, 0.7, 0.0]),
+        );
+        assert_eq!(ptt.site(s).unwrap().fastest_node(), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn unknown_site_is_empty() {
+        let ptt = Ptt::new();
+        assert!(ptt.site(SiteId::new(9)).is_none());
+        assert_eq!(ptt.invocations(SiteId::new(9)), 0);
+    }
+
+    #[test]
+    fn render_lists_configs_best_first() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(8);
+        ptt.record(s, 64, mask, StealPolicy::Strict, &report(2e6, &[]));
+        ptt.record(s, 32, mask, StealPolicy::Strict, &report(1e6, &[]));
+        let text = ptt.site(s).unwrap().render();
+        assert!(text.contains("PTT (2 invocations)"));
+        let pos32 = text.find("threads=32").unwrap();
+        let pos64 = text.find("threads=64").unwrap();
+        assert!(pos32 < pos64, "best config must render first:\n{text}");
+    }
+
+    #[test]
+    fn idle_nodes_do_not_dilute_speed() {
+        let mut ptt = Ptt::new();
+        let s = SiteId::new(0);
+        let mask = NodeMask::first_n(2);
+        // Node 1 idle in the second run; its mean must stay at 0.9.
+        ptt.record(s, 8, mask, StealPolicy::Strict, &report(1.0, &[0.5, 0.9]));
+        ptt.record(s, 8, mask, StealPolicy::Strict, &report(1.0, &[0.5, 0.0]));
+        let t = ptt.site(s).unwrap();
+        assert_eq!(t.fastest_node(), Some(NodeId::new(1)));
+    }
+}

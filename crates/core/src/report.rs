@@ -1,0 +1,161 @@
+//! Normalized execution feedback.
+//!
+//! Both execution backends (the simulator and the native runtime) reduce an
+//! invocation to a [`TaskloopReport`]; the ILAN policy consumes only this
+//! type, which is what makes the policy backend-agnostic — mirroring the
+//! paper's design decision to sample only execution time so the scheduler
+//! stays platform-independent (§3.5).
+
+use ilan_numasim::LoopOutcome;
+use ilan_runtime::LoopReport;
+use ilan_topology::NodeId;
+
+/// Normalized result of one taskloop invocation.
+#[derive(Clone, Debug)]
+pub struct TaskloopReport {
+    /// Wall time of the invocation (dispatch to barrier), ns.
+    pub time_ns: f64,
+    /// Worker threads that participated.
+    pub threads: usize,
+    /// Observed per-node efficiency (ideal work per busy time for the
+    /// simulator; task throughput for the native runtime); `0` for nodes
+    /// that executed nothing. Used to find the fastest node for the
+    /// node-mask selection.
+    pub node_speed: Vec<f64>,
+    /// Accumulated scheduling overhead, ns.
+    pub sched_overhead_ns: f64,
+    /// Chunks that executed away from their assigned node.
+    pub migrations: usize,
+    /// Fraction of chunks that executed on their assigned node.
+    pub locality: f64,
+    /// DRAM traffic of the invocation, bytes (simulator-measured; the
+    /// native runtime reports 0 unless hardware counters are wired in —
+    /// mirroring the paper artifact's optional `PERF_COUNTERS`).
+    pub dram_bytes: f64,
+}
+
+impl TaskloopReport {
+    /// A minimal synthetic report (tests, examples).
+    pub fn synthetic(time_ns: f64, threads: usize) -> Self {
+        TaskloopReport {
+            time_ns,
+            threads,
+            node_speed: Vec::new(),
+            sched_overhead_ns: 0.0,
+            migrations: 0,
+            locality: 1.0,
+            dram_bytes: 0.0,
+        }
+    }
+
+    /// The fastest node by observed speed, if any node executed work.
+    pub fn fastest_node(&self) -> Option<NodeId> {
+        self.node_speed
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0.0)
+            .max_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| NodeId::new(i))
+    }
+}
+
+impl From<&LoopOutcome> for TaskloopReport {
+    fn from(o: &LoopOutcome) -> Self {
+        TaskloopReport {
+            time_ns: o.makespan_ns,
+            threads: o.threads,
+            node_speed: o.nodes.iter().map(|n| n.speed()).collect(),
+            sched_overhead_ns: o.sched_overhead_ns,
+            migrations: o.migrations,
+            locality: o.locality_fraction(),
+            dram_bytes: o.total_dram_bytes(),
+        }
+    }
+}
+
+impl From<&LoopReport> for TaskloopReport {
+    fn from(r: &LoopReport) -> Self {
+        TaskloopReport {
+            time_ns: r.makespan.as_nanos() as f64,
+            threads: r.threads,
+            node_speed: r
+                .nodes
+                .iter()
+                .map(|n| {
+                    if n.busy.is_zero() {
+                        0.0
+                    } else {
+                        n.tasks as f64 / n.busy.as_secs_f64()
+                    }
+                })
+                .collect(),
+            sched_overhead_ns: r.sched_overhead.as_nanos() as f64,
+            migrations: r.migrations,
+            locality: r.locality_fraction(),
+            dram_bytes: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan_numasim::NodeOutcome;
+    use std::time::Duration;
+
+    #[test]
+    fn from_sim_outcome() {
+        let o = LoopOutcome {
+            makespan_ns: 5000.0,
+            sched_overhead_ns: 100.0,
+            nodes: vec![
+                NodeOutcome {
+                    tasks: 2,
+                    busy_ns: 1000.0,
+                    ideal_ns: 900.0,
+                    local_tasks: 2,
+                    dram_bytes: 0.0,
+                },
+                NodeOutcome::default(),
+            ],
+            migrations: 1,
+            threads: 8,
+            trace: Vec::new(),
+        };
+        let r = TaskloopReport::from(&o);
+        assert_eq!(r.time_ns, 5000.0);
+        assert_eq!(r.threads, 8);
+        assert!((r.node_speed[0] - 0.9).abs() < 1e-12);
+        assert_eq!(r.node_speed[1], 0.0);
+        assert_eq!(r.fastest_node(), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn from_native_report() {
+        let n = LoopReport {
+            makespan: Duration::from_micros(10),
+            sched_overhead: Duration::from_nanos(42),
+            nodes: vec![ilan_runtime::NodeReport {
+                tasks: 5,
+                busy: Duration::from_micros(50),
+                local_tasks: 5,
+            }],
+            migrations: 0,
+            threads: 4,
+        };
+        let r = TaskloopReport::from(&n);
+        assert_eq!(r.time_ns, 10_000.0);
+        assert_eq!(r.sched_overhead_ns, 42.0);
+        assert!((r.locality - 1.0).abs() < 1e-12);
+        assert!(r.node_speed[0] > 0.0);
+    }
+
+    #[test]
+    fn fastest_node_none_when_empty() {
+        assert_eq!(TaskloopReport::synthetic(1.0, 1).fastest_node(), None);
+    }
+}

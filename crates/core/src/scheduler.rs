@@ -1,0 +1,541 @@
+//! The ILAN scheduler: moldable thread-count search, node-mask selection and
+//! steal-policy trial, per taskloop site.
+//!
+//! The per-site lifecycle is:
+//!
+//! ```text
+//! invocation 1:  m_max threads, all nodes, strict      (priming)
+//! invocation 2:  m_max/2 threads, best-seeded mask, strict  (priming)
+//! invocation 3+: Algorithm 1 exploration, strict            (Searching)
+//! search done:   one invocation with steal_policy = full    (StealTrial)
+//! afterwards:    the winning configuration forever          (Settled)
+//! ```
+//!
+//! With moldability disabled (the paper's Figure 4 ablation) the search is
+//! skipped: the thread count stays at `m_max` and only the hierarchical
+//! distribution and the steal-policy trial remain.
+
+use crate::algorithm1::{select_threads, SelectionInput};
+use crate::config::Decision;
+use crate::nodemask::select_mask;
+use crate::policy::Policy;
+use crate::ptt::Ptt;
+use crate::report::TaskloopReport;
+use crate::site::SiteId;
+use ilan_runtime::StealPolicy;
+use ilan_topology::Topology;
+use std::collections::HashMap;
+
+/// Tuning parameters of the ILAN scheduler.
+#[derive(Clone, Debug)]
+pub struct IlanParams {
+    /// Machine description.
+    pub topology: Topology,
+    /// Thread-count granularity `g`. The paper sets it to the NUMA node
+    /// size; any value in `1..=m_max/2` is valid (§3.5).
+    pub granularity: usize,
+    /// Fraction of each node's chunks that are NUMA-strict under the `full`
+    /// steal policy (the stealable tail is `1 − strict_fraction`).
+    pub strict_fraction: f64,
+    /// Whether the moldability search runs. `false` reproduces the paper's
+    /// "ILAN without moldability" ablation (Figure 4): all cores always.
+    pub moldability: bool,
+    /// Whether the post-search `full`-policy trial runs. When disabled the
+    /// policy stays `strict` forever.
+    pub steal_trial: bool,
+    /// Cost of one configuration selection, charged to the critical path by
+    /// the drivers.
+    pub decision_cost_ns: f64,
+    /// What the search minimizes. The paper uses wall time; the PTT can
+    /// equally drive energy-oriented selection (§3.5).
+    pub objective: crate::Objective,
+}
+
+impl IlanParams {
+    /// Defaults for a topology: `g` = NUMA node size (clamped to
+    /// `1..=m_max/2`), a half-stealable tail, moldability and the steal
+    /// trial enabled.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let m_max = topology.num_cores();
+        let granularity = topology.cores_per_node().clamp(1, (m_max / 2).max(1));
+        IlanParams {
+            topology: topology.clone(),
+            granularity,
+            strict_fraction: 0.5,
+            moldability: true,
+            steal_trial: true,
+            decision_cost_ns: 800.0,
+            objective: crate::Objective::default(),
+        }
+    }
+
+    /// The Figure-4 ablation: hierarchical scheduling only, all cores.
+    pub fn no_moldability(topology: &Topology) -> Self {
+        IlanParams {
+            moldability: false,
+            ..Self::for_topology(topology)
+        }
+    }
+
+    /// Overrides the granularity (builder style).
+    pub fn granularity(mut self, g: usize) -> Self {
+        assert!(g >= 1, "granularity must be at least 1");
+        self.granularity = g;
+        self
+    }
+
+    /// Overrides the strict fraction (builder style).
+    pub fn strict_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "strict_fraction must be in [0,1]");
+        self.strict_fraction = f;
+        self
+    }
+
+    /// Disables the steal-policy trial (builder style).
+    pub fn without_steal_trial(mut self) -> Self {
+        self.steal_trial = false;
+        self
+    }
+
+    /// Selects the optimization objective (builder style).
+    pub fn objective(mut self, objective: crate::Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+}
+
+/// Where a site is in its configuration lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchPhase {
+    /// Still exploring thread counts (includes the two priming runs).
+    Searching,
+    /// Thread count fixed; evaluating `steal_policy = full` for one run.
+    StealTrial,
+    /// Configuration frozen.
+    Settled,
+}
+
+#[derive(Clone, Debug)]
+struct SiteState {
+    phase: SearchPhase,
+    /// The decision the next invocation will use.
+    next: Decision,
+    /// Mean time of the best strict configuration at search completion
+    /// (compared against the full-policy trial).
+    strict_best_ns: f64,
+}
+
+/// The ILAN scheduler (see crate docs).
+pub struct IlanScheduler {
+    params: IlanParams,
+    ptt: Ptt,
+    sites: HashMap<SiteId, SiteState>,
+}
+
+impl IlanScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    /// Panics if `granularity` is 0 or exceeds the core count.
+    pub fn new(params: IlanParams) -> Self {
+        assert!(params.granularity >= 1, "granularity must be at least 1");
+        assert!(
+            params.granularity <= params.topology.num_cores(),
+            "granularity exceeds machine size"
+        );
+        IlanScheduler {
+            params,
+            ptt: Ptt::new(),
+            sites: HashMap::new(),
+        }
+    }
+
+    /// Read access to the Performance Trace Table.
+    pub fn ptt(&self) -> &Ptt {
+        &self.ptt
+    }
+
+    /// The scheduler's parameters.
+    pub fn params(&self) -> &IlanParams {
+        &self.params
+    }
+
+    /// The lifecycle phase of `site` (Searching before any invocation).
+    pub fn phase(&self, site: SiteId) -> SearchPhase {
+        self.sites
+            .get(&site)
+            .map_or(SearchPhase::Searching, |s| s.phase)
+    }
+
+    /// The settled configuration of `site`, if its search has finished.
+    pub fn settled_decision(&self, site: SiteId) -> Option<&Decision> {
+        self.sites
+            .get(&site)
+            .filter(|s| s.phase == SearchPhase::Settled)
+            .map(|s| &s.next)
+    }
+
+    fn m_max(&self) -> usize {
+        self.params.topology.num_cores()
+    }
+
+    /// Thread count rounded down to a positive multiple of `g`.
+    fn quantize(&self, threads: usize) -> usize {
+        let g = self.params.granularity;
+        (threads / g * g).max(g)
+    }
+
+    fn hierarchical(&self, site: SiteId, threads: usize, steal: StealPolicy) -> Decision {
+        let mask = select_mask(&self.params.topology, self.ptt.site(site), threads);
+        Decision::Hierarchical {
+            threads,
+            mask,
+            steal,
+            strict_fraction: self.params.strict_fraction,
+        }
+    }
+
+    fn initial_state(&self, site: SiteId) -> SiteState {
+        SiteState {
+            phase: SearchPhase::Searching,
+            next: self.hierarchical(site, self.m_max(), StealPolicy::Strict),
+            strict_best_ns: f64::INFINITY,
+        }
+    }
+
+    /// Computes the state after recording invocation number `k` (1-based).
+    fn transition(&self, site: SiteId, state: &SiteState, report: &TaskloopReport) -> SiteState {
+        let k = self.ptt.invocations(site); // includes the one just recorded
+        let table = self.ptt.site(site).expect("just recorded");
+
+        match state.phase {
+            SearchPhase::Searching => {
+                if !self.params.moldability {
+                    // No search: go straight to the steal trial (or settle).
+                    return self.finish_search(site, self.m_max(), table.fastest_mean());
+                }
+                if k == 1 {
+                    // Second priming run: half the machine. On machines so
+                    // small that half quantizes back to the full machine
+                    // (m_max == g), there is nothing to search.
+                    let threads = self.quantize(self.m_max() / 2);
+                    if threads == self.m_max() {
+                        return self.finish_search(site, threads, table.fastest_mean());
+                    }
+                    return SiteState {
+                        phase: SearchPhase::Searching,
+                        next: self.hierarchical(site, threads, StealPolicy::Strict),
+                        strict_best_ns: f64::INFINITY,
+                    };
+                }
+                if table.entries().len() < 2 {
+                    // Repeated configurations collapsed into one PTT entry
+                    // (degenerate machines): accept it as the optimum.
+                    let threads = table.fastest().map_or(self.m_max(), |e| e.threads);
+                    return self.finish_search(site, threads, table.fastest_mean());
+                }
+                // Invocation k+1 is configured by Algorithm 1.
+                let current_threads = state.next.threads().unwrap_or(self.m_max());
+                let selection = select_threads(SelectionInput {
+                    table,
+                    current_threads,
+                    k: k + 1,
+                    granularity: self.params.granularity,
+                    objective: self.params.objective,
+                });
+                if selection.search_finished {
+                    let best_mean = table.fastest_mean();
+                    self.finish_search(site, selection.threads, best_mean)
+                } else {
+                    SiteState {
+                        phase: SearchPhase::Searching,
+                        next: self.hierarchical(site, selection.threads, StealPolicy::Strict),
+                        strict_best_ns: f64::INFINITY,
+                    }
+                }
+            }
+            SearchPhase::StealTrial => {
+                // The report is the full-policy trial: keep whichever policy
+                // scores better under the configured objective.
+                let threads = state.next.threads().unwrap_or(self.m_max());
+                let objective = self.params.objective;
+                let steal = if objective.score(threads, report.time_ns)
+                    < objective.score(threads, state.strict_best_ns)
+                {
+                    StealPolicy::Full
+                } else {
+                    StealPolicy::Strict
+                };
+                SiteState {
+                    phase: SearchPhase::Settled,
+                    next: self.hierarchical(site, threads, steal),
+                    strict_best_ns: state.strict_best_ns,
+                }
+            }
+            SearchPhase::Settled => state.clone(),
+        }
+    }
+
+    fn finish_search(&self, site: SiteId, threads: usize, strict_best_ns: f64) -> SiteState {
+        if self.params.steal_trial {
+            SiteState {
+                phase: SearchPhase::StealTrial,
+                next: self.hierarchical(site, threads, StealPolicy::Full),
+                strict_best_ns,
+            }
+        } else {
+            SiteState {
+                phase: SearchPhase::Settled,
+                next: self.hierarchical(site, threads, StealPolicy::Strict),
+                strict_best_ns,
+            }
+        }
+    }
+}
+
+/// Helper on the PTT site table: mean time of the best configuration under
+/// the time objective (the trial comparison rescales by the objective at
+/// comparison time, so storing the raw time is sufficient).
+trait FastestMean {
+    fn fastest_mean(&self) -> f64;
+}
+
+impl FastestMean for crate::ptt::SiteTable {
+    fn fastest_mean(&self) -> f64 {
+        self.fastest().map_or(f64::INFINITY, |e| e.time.mean())
+    }
+}
+
+impl Policy for IlanScheduler {
+    fn decide(&mut self, site: SiteId) -> Decision {
+        if !self.sites.contains_key(&site) {
+            let st = self.initial_state(site);
+            self.sites.insert(site, st);
+        }
+        self.sites[&site].next.clone()
+    }
+
+    fn record(&mut self, site: SiteId, decision: &Decision, report: &TaskloopReport) {
+        let (threads, mask, steal) = match decision {
+            Decision::Hierarchical {
+                threads,
+                mask,
+                steal,
+                ..
+            } => (*threads, *mask, *steal),
+            // Reports for non-hierarchical decisions (not produced by this
+            // policy) are still recorded against the full machine.
+            _ => (
+                self.m_max(),
+                self.params.topology.all_nodes(),
+                StealPolicy::Strict,
+            ),
+        };
+        self.ptt.record(site, threads, mask, steal, report);
+        let state = self
+            .sites
+            .entry(site)
+            .or_insert_with(|| SiteState {
+                phase: SearchPhase::Searching,
+                next: Decision::Flat, // replaced immediately below
+                strict_best_ns: f64::INFINITY,
+            })
+            .clone();
+        let new_state = self.transition(site, &state, report);
+        self.sites.insert(site, new_state);
+    }
+
+    fn name(&self) -> &'static str {
+        if self.params.moldability {
+            "ilan"
+        } else {
+            "ilan-nomold"
+        }
+    }
+
+    fn decision_overhead_ns(&self) -> f64 {
+        self.params.decision_cost_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan_topology::presets;
+
+    const SITE: SiteId = SiteId::new(0);
+
+    fn scheduler() -> IlanScheduler {
+        IlanScheduler::new(IlanParams::for_topology(&presets::epyc_9354_2s()))
+    }
+
+    /// Runs one decide/record round with a synthetic time.
+    fn round(s: &mut IlanScheduler, time: f64) -> Decision {
+        let d = s.decide(SITE);
+        s.record(
+            SITE,
+            &d,
+            &TaskloopReport::synthetic(time, d.threads().unwrap_or(64)),
+        );
+        d
+    }
+
+    #[test]
+    fn priming_sequence() {
+        let mut s = scheduler();
+        let d1 = s.decide(SITE);
+        assert_eq!(d1.threads(), Some(64));
+        assert_eq!(d1.steal(), Some(StealPolicy::Strict));
+        assert_eq!(d1.mask(), Some(presets::epyc_9354_2s().all_nodes()));
+        s.record(SITE, &d1, &TaskloopReport::synthetic(100.0, 64));
+        let d2 = s.decide(SITE);
+        assert_eq!(d2.threads(), Some(32));
+        assert_eq!(d2.mask().unwrap().count(), 4);
+    }
+
+    #[test]
+    fn memory_bound_search_settles_low() {
+        // Faster with fewer threads: t(64)=100, t(32)=60, t(8)=40, t(16)=45.
+        let mut s = scheduler();
+        assert_eq!(round(&mut s, 100.0).threads(), Some(64));
+        assert_eq!(round(&mut s, 60.0).threads(), Some(32));
+        assert_eq!(round(&mut s, 40.0).threads(), Some(8)); // k=3 probes g
+        assert_eq!(round(&mut s, 45.0).threads(), Some(16)); // midpoint
+                                                             // Search finished at 8 threads → full-policy trial.
+        let trial = s.decide(SITE);
+        assert_eq!(s.phase(SITE), SearchPhase::StealTrial);
+        assert_eq!(trial.threads(), Some(8));
+        assert_eq!(trial.steal(), Some(StealPolicy::Full));
+        // Trial slower than strict best (40): keep strict.
+        s.record(SITE, &trial, &TaskloopReport::synthetic(44.0, 8));
+        assert_eq!(s.phase(SITE), SearchPhase::Settled);
+        let settled = s.settled_decision(SITE).unwrap();
+        assert_eq!(settled.threads(), Some(8));
+        assert_eq!(settled.steal(), Some(StealPolicy::Strict));
+        // Settled decision is sticky.
+        for _ in 0..5 {
+            let d = round(&mut s, 40.0);
+            assert_eq!(d.threads(), Some(8));
+            assert_eq!(d.steal(), Some(StealPolicy::Strict));
+        }
+    }
+
+    #[test]
+    fn compute_bound_search_keeps_full_machine() {
+        // Faster with more threads: 64 wins.
+        let mut s = scheduler();
+        round(&mut s, 60.0); // 64
+        round(&mut s, 100.0); // 32
+        assert_eq!(round(&mut s, 75.0).threads(), Some(48));
+        assert_eq!(round(&mut s, 65.0).threads(), Some(56));
+        let trial = s.decide(SITE);
+        assert_eq!(trial.threads(), Some(64));
+        assert_eq!(trial.steal(), Some(StealPolicy::Full));
+        // Trial faster: keep full.
+        s.record(SITE, &trial, &TaskloopReport::synthetic(55.0, 64));
+        let settled = s.settled_decision(SITE).unwrap();
+        assert_eq!(settled.steal(), Some(StealPolicy::Full));
+    }
+
+    #[test]
+    fn no_moldability_skips_search() {
+        let mut s = IlanScheduler::new(IlanParams::no_moldability(&presets::epyc_9354_2s()));
+        let d1 = s.decide(SITE);
+        assert_eq!(d1.threads(), Some(64));
+        s.record(SITE, &d1, &TaskloopReport::synthetic(100.0, 64));
+        // Straight to the steal trial.
+        assert_eq!(s.phase(SITE), SearchPhase::StealTrial);
+        let trial = s.decide(SITE);
+        assert_eq!(trial.threads(), Some(64));
+        assert_eq!(trial.steal(), Some(StealPolicy::Full));
+        s.record(SITE, &trial, &TaskloopReport::synthetic(90.0, 64));
+        assert_eq!(s.phase(SITE), SearchPhase::Settled);
+        assert_eq!(
+            s.settled_decision(SITE).unwrap().steal(),
+            Some(StealPolicy::Full)
+        );
+    }
+
+    #[test]
+    fn without_steal_trial_settles_strict() {
+        let mut s = IlanScheduler::new(
+            IlanParams::no_moldability(&presets::epyc_9354_2s()).without_steal_trial(),
+        );
+        let d = s.decide(SITE);
+        s.record(SITE, &d, &TaskloopReport::synthetic(100.0, 64));
+        assert_eq!(s.phase(SITE), SearchPhase::Settled);
+        assert_eq!(
+            s.settled_decision(SITE).unwrap().steal(),
+            Some(StealPolicy::Strict)
+        );
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut s = scheduler();
+        let a = SiteId::new(1);
+        let b = SiteId::new(2);
+        let da = s.decide(a);
+        s.record(a, &da, &TaskloopReport::synthetic(100.0, 64));
+        // Site b still starts from scratch.
+        assert_eq!(s.decide(b).threads(), Some(64));
+        // Site a has advanced.
+        assert_eq!(s.decide(a).threads(), Some(32));
+    }
+
+    #[test]
+    fn small_machine_two_nodes() {
+        // tiny_2x4: 8 cores, g = 4 = m_max/2.
+        let topo = presets::tiny_2x4();
+        let mut s = IlanScheduler::new(IlanParams::for_topology(&topo));
+        assert_eq!(s.params().granularity, 4);
+        let d1 = s.decide(SITE);
+        assert_eq!(d1.threads(), Some(8));
+        s.record(SITE, &d1, &TaskloopReport::synthetic(100.0, 8));
+        let d2 = s.decide(SITE);
+        assert_eq!(d2.threads(), Some(4));
+        // Half machine faster → k=3 would probe g=4 == best → finished.
+        s.record(SITE, &d2, &TaskloopReport::synthetic(50.0, 4));
+        assert_eq!(s.phase(SITE), SearchPhase::StealTrial);
+        let trial = s.decide(SITE);
+        assert_eq!(trial.threads(), Some(4));
+    }
+
+    #[test]
+    fn reduced_masks_follow_fastest_node() {
+        let mut s = scheduler();
+        let d1 = s.decide(SITE);
+        // Node 5 is fastest in the priming run.
+        let mut speeds = vec![0.5; 8];
+        speeds[5] = 0.9;
+        let report = TaskloopReport {
+            node_speed: speeds,
+            ..TaskloopReport::synthetic(100.0, 64)
+        };
+        s.record(SITE, &d1, &report);
+        let d2 = s.decide(SITE);
+        let mask = d2.mask().unwrap();
+        assert!(mask.contains(ilan_topology::NodeId::new(5)));
+        // 32 threads = 4 nodes, all on socket 1.
+        assert_eq!(mask.count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity")]
+    fn rejects_zero_granularity() {
+        let p = IlanParams {
+            granularity: 0,
+            ..IlanParams::for_topology(&presets::tiny_2x4())
+        };
+        IlanScheduler::new(p);
+    }
+
+    #[test]
+    fn decision_overhead_reported() {
+        let s = scheduler();
+        assert!(s.decision_overhead_ns() > 0.0);
+        assert_eq!(s.name(), "ilan");
+        let s2 = IlanScheduler::new(IlanParams::no_moldability(&presets::tiny_2x4()));
+        assert_eq!(s2.name(), "ilan-nomold");
+    }
+}

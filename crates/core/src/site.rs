@@ -1,0 +1,123 @@
+//! Taskloop site identities.
+//!
+//! A *site* is one static taskloop in the program (in the LLVM
+//! implementation, the codeptr of the `taskloop` construct). ILAN keeps
+//! independent PTT state per site, because the paper's central observation is
+//! that the optimal configuration differs *per taskloop*, not per
+//! application.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of one static taskloop construct.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u64);
+
+impl SiteId {
+    /// Creates a site id from a raw value (e.g. a code address or a dense
+    /// index from a [`SiteRegistry`]).
+    pub const fn new(raw: u64) -> Self {
+        SiteId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+/// Maps human-readable loop names (e.g. `"cg/spmv"`) to dense [`SiteId`]s.
+///
+/// Workload code registers each of its taskloops once and uses the returned
+/// id on every invocation.
+#[derive(Default, Debug)]
+pub struct SiteRegistry {
+    by_name: HashMap<String, SiteId>,
+    names: Vec<String>,
+}
+
+impl SiteRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, allocating one on first use.
+    pub fn site(&mut self, name: &str) -> SiteId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SiteId::new(self.names.len() as u64);
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// The name registered for `id`, if any.
+    pub fn name(&self, id: SiteId) -> Option<&str> {
+        self.names.get(id.raw() as usize).map(String::as_str)
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SiteId::new(i as u64), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_idempotent() {
+        let mut r = SiteRegistry::new();
+        let a = r.site("cg/spmv");
+        let b = r.site("cg/axpy");
+        let a2 = r.site("cg/spmv");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.name(a), Some("cg/spmv"));
+        assert_eq!(r.name(SiteId::new(99)), None);
+    }
+
+    #[test]
+    fn iter_in_registration_order() {
+        let mut r = SiteRegistry::new();
+        r.site("x");
+        r.site("y");
+        let names: Vec<&str> = r.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SiteId::new(3).to_string(), "site3");
+        assert_eq!(format!("{:?}", SiteId::new(3)), "site3");
+    }
+}

@@ -1,0 +1,201 @@
+//! Run-level statistics accumulation.
+//!
+//! [`RunStats`] aggregates [`TaskloopReport`]s over one application run —
+//! the quantities the paper's evaluation plots: total execution time
+//! (Figures 2/4/6), the time-weighted average thread count (Figure 3), and
+//! accumulated scheduling overhead (Figure 5).
+
+use crate::report::TaskloopReport;
+
+/// Aggregated statistics of one run under one policy.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Number of taskloop invocations.
+    pub invocations: u64,
+    /// Sum of invocation wall times, ns.
+    pub total_time_ns: f64,
+    /// Serial (non-taskloop) time, ns.
+    pub serial_time_ns: f64,
+    /// Accumulated scheduling overhead, ns.
+    pub total_overhead_ns: f64,
+    /// Σ (threads × invocation time) — numerator of the weighted average.
+    weighted_threads_ns: f64,
+    /// Total inter-node migrations.
+    pub migrations: u64,
+    /// Σ (locality fraction × invocation time).
+    weighted_locality_ns: f64,
+    /// Total DRAM traffic across invocations, bytes.
+    pub dram_bytes: f64,
+}
+
+impl RunStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one invocation.
+    pub fn add(&mut self, report: &TaskloopReport) {
+        self.invocations += 1;
+        self.total_time_ns += report.time_ns;
+        self.total_overhead_ns += report.sched_overhead_ns;
+        self.weighted_threads_ns += report.threads as f64 * report.time_ns;
+        self.weighted_locality_ns += report.locality * report.time_ns;
+        self.migrations += report.migrations as u64;
+        self.dram_bytes += report.dram_bytes;
+    }
+
+    /// Adds serial (outside-taskloop) time.
+    pub fn add_serial(&mut self, ns: f64) {
+        self.serial_time_ns += ns;
+    }
+
+    /// Wall time of the whole run (taskloops + serial), ns.
+    pub fn wall_time_ns(&self) -> f64 {
+        self.total_time_ns + self.serial_time_ns
+    }
+
+    /// Time-weighted average thread count (the paper's Figure 3 metric).
+    pub fn weighted_avg_threads(&self) -> f64 {
+        if self.total_time_ns > 0.0 {
+            self.weighted_threads_ns / self.total_time_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Average delivered DRAM bandwidth over the taskloop time, bytes/ns
+    /// (GB/s). Zero when nothing was measured.
+    pub fn avg_bandwidth(&self) -> f64 {
+        if self.total_time_ns > 0.0 {
+            self.dram_bytes / self.total_time_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted average locality fraction.
+    pub fn weighted_avg_locality(&self) -> f64 {
+        if self.total_time_ns > 0.0 {
+            self.weighted_locality_ns / self.total_time_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Mean and (sample) standard deviation of a set of run times — the paper's
+/// Table 1 statistics over 30 runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Distribution {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for fewer than two
+    /// samples.
+    pub stddev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+/// Computes mean / sample standard deviation / extrema of `samples`.
+pub fn distribution(samples: &[f64]) -> Distribution {
+    if samples.is_empty() {
+        return Distribution::default();
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let stddev = if samples.len() > 1 {
+        (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Distribution {
+        mean,
+        stddev,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(time: f64, threads: usize, locality: f64) -> TaskloopReport {
+        TaskloopReport {
+            time_ns: time,
+            threads,
+            node_speed: Vec::new(),
+            sched_overhead_ns: 10.0,
+            migrations: 2,
+            locality,
+            dram_bytes: 50.0,
+        }
+    }
+
+    #[test]
+    fn weighted_average_threads() {
+        let mut s = RunStats::new();
+        s.add(&report(100.0, 64, 1.0));
+        s.add(&report(300.0, 16, 0.5));
+        // (64·100 + 16·300) / 400 = 28.
+        assert!((s.weighted_avg_threads() - 28.0).abs() < 1e-12);
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.migrations, 4);
+        assert!((s.total_overhead_ns - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_locality() {
+        let mut s = RunStats::new();
+        s.add(&report(100.0, 8, 1.0));
+        s.add(&report(100.0, 8, 0.0));
+        assert!((s.weighted_avg_locality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_time_counts_toward_wall() {
+        let mut s = RunStats::new();
+        s.add(&report(100.0, 8, 1.0));
+        s.add_serial(50.0);
+        assert!((s.wall_time_ns() - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_aggregates() {
+        let mut s = RunStats::new();
+        s.add(&report(100.0, 8, 1.0));
+        s.add(&report(100.0, 8, 1.0));
+        assert!((s.dram_bytes - 100.0).abs() < 1e-12);
+        assert!((s.avg_bandwidth() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = RunStats::new();
+        assert_eq!(s.weighted_avg_threads(), 0.0);
+        assert_eq!(s.wall_time_ns(), 0.0);
+    }
+
+    #[test]
+    fn distribution_basic() {
+        let d = distribution(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is ~2.138.
+        assert!((d.stddev - 2.138089935).abs() < 1e-6);
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.max, 9.0);
+    }
+
+    #[test]
+    fn distribution_degenerate() {
+        assert_eq!(distribution(&[]), Distribution::default());
+        let d = distribution(&[3.0]);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.stddev, 0.0);
+    }
+}

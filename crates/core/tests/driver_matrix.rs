@@ -1,0 +1,130 @@
+//! Exhaustive decision × machine matrix through the simulator driver:
+//! every combination a policy can legally emit must execute cleanly and
+//! report consistent numbers.
+
+use ilan::driver::{active_cores, build_plan, run_sim_invocation};
+use ilan::{Decision, FixedPolicy, Policy, SiteId, StealPolicy};
+use ilan_numasim::{Locality, MachineParams, SimMachine, TaskSpec};
+use ilan_topology::{presets, NodeId, NodeMask, Topology};
+
+fn tasks(topo: &Topology, n: usize) -> Vec<TaskSpec> {
+    let nodes = topo.num_nodes();
+    (0..n)
+        .map(|i| TaskSpec {
+            compute_ns: 20_000.0 + (i % 5) as f64 * 7_000.0,
+            mem_bytes: 300_000.0,
+            home_node: NodeId::new(i * nodes / n),
+            locality: if i % 3 == 0 {
+                Locality::Scattered { spread: 0.6 }
+            } else {
+                Locality::Chunked
+            },
+            data_mask: topo.all_nodes(),
+            cache_reuse: 0.2,
+            fits_l3: true,
+        })
+        .collect()
+}
+
+/// All hierarchical decisions over masks × thread counts × policies ×
+/// strict fractions execute every chunk exactly once on the paper machine.
+#[test]
+fn hierarchical_decision_matrix() {
+    let topo = presets::epyc_9354_2s();
+    let specs = tasks(&topo, 96);
+    for mask in [
+        topo.all_nodes(),
+        NodeMask::first_n(4),
+        NodeMask::first_n(1),
+        NodeMask::from_bits(0b1010_0101), // sparse, both sockets
+    ] {
+        for threads in [0usize, 8, 24, 64] {
+            for steal in [StealPolicy::Strict, StealPolicy::Full] {
+                for strict_fraction in [0.0, 0.5, 1.0] {
+                    let decision = Decision::Hierarchical {
+                        threads,
+                        mask,
+                        steal,
+                        strict_fraction,
+                    };
+                    let mut machine = SimMachine::new(
+                        MachineParams::for_topology(&topo).noiseless(),
+                        1,
+                    );
+                    let mut policy = FixedPolicy::new(decision.clone());
+                    let (d, report) =
+                        run_sim_invocation(&mut machine, &mut policy, SiteId::new(0), &specs);
+                    assert_eq!(d, decision);
+                    assert!(
+                        report.time_ns.is_finite() && report.time_ns > 0.0,
+                        "mask {mask:?} threads {threads} {steal:?} sf {strict_fraction}"
+                    );
+                    // Threads reported == cores activated.
+                    let cores = active_cores(&topo, mask, threads);
+                    assert_eq!(report.threads, cores.count());
+                    // Strict policy must never migrate.
+                    if steal == StealPolicy::Strict {
+                        assert_eq!(report.migrations, 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plans built by the driver are valid exact covers for any task count.
+#[test]
+fn build_plan_covers_everything() {
+    let topo = presets::epyc_9354_2s();
+    for n in [1usize, 7, 63, 64, 65, 255, 1024] {
+        for mask in [topo.all_nodes(), NodeMask::first_n(3)] {
+            let d = Decision::Hierarchical {
+                threads: 0,
+                mask,
+                steal: StealPolicy::Full,
+                strict_fraction: 0.5,
+            };
+            // validate() inside PlacementPlan asserts the exact cover.
+            build_plan(&d, n).validate(n);
+        }
+    }
+    build_plan(&Decision::Flat, 100).validate(100);
+    build_plan(&Decision::WorkSharing, 100).validate(100);
+}
+
+/// One chunk, sixty-four workers: the degenerate wide-machine case.
+#[test]
+fn single_chunk_on_full_machine() {
+    let topo = presets::epyc_9354_2s();
+    let specs = tasks(&topo, 1);
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+    let mut policy = FixedPolicy::new(Decision::Flat);
+    let (_, report) = run_sim_invocation(&mut machine, &mut policy, SiteId::new(0), &specs);
+    assert!(report.time_ns > 0.0);
+    assert_eq!(report.threads, 64);
+}
+
+/// Reports keep per-node speeds consistent with the mask: inactive nodes
+/// never report speed.
+#[test]
+fn inactive_nodes_report_zero_speed() {
+    let topo = presets::epyc_9354_2s();
+    let specs = tasks(&topo, 64);
+    let mask = NodeMask::first_n(2);
+    let d = Decision::Hierarchical {
+        threads: 16,
+        mask,
+        steal: StealPolicy::Strict,
+        strict_fraction: 1.0,
+    };
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+    let mut policy = FixedPolicy::new(d);
+    let (_, report) = run_sim_invocation(&mut machine, &mut policy, SiteId::new(0), &specs);
+    for (i, &speed) in report.node_speed.iter().enumerate() {
+        if mask.contains(NodeId::new(i)) {
+            assert!(speed > 0.0, "active node {i} reported no speed");
+        } else {
+            assert_eq!(speed, 0.0, "inactive node {i} reported speed");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Noise model: the sources of run-to-run variance.
+//!
+//! The paper attributes execution-time variance to frequency scaling and
+//! "external system noise" outside the scheduler's control (§5.4, the BT
+//! outlier). Both are modelled here, driven by a seeded RNG so every run is
+//! reproducible from its seed:
+//!
+//! * **Frequency jitter** — each core's effective compute frequency for a run
+//!   is drawn from a normal distribution around 1.0. This creates the mild,
+//!   persistent performance asymmetry between nodes that ILAN's PTT detects
+//!   when choosing the fastest node.
+//! * **Outlier windows** — with a small per-invocation probability, one NUMA
+//!   node is slowed by a large factor for the duration of one taskloop
+//!   invocation, modelling an interfering external process or a thermal
+//!   excursion. A single such event is what inflated ILAN's BT std-dev in the
+//!   paper.
+
+use rand::Rng;
+
+/// Parameters of the noise model.
+#[derive(Clone, Debug)]
+pub struct NoiseParams {
+    /// Standard deviation of per-core frequency factors (mean 1.0).
+    pub freq_jitter_sd: f64,
+    /// Probability that any given taskloop invocation experiences an outlier
+    /// window.
+    pub outlier_prob: f64,
+    /// Multiplicative slowdown of the affected node during an outlier window
+    /// (e.g. 0.5 ⇒ the node runs at half speed).
+    pub outlier_factor: f64,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams {
+            freq_jitter_sd: 0.012,
+            outlier_prob: 0.0008,
+            outlier_factor: 0.45,
+        }
+    }
+}
+
+impl NoiseParams {
+    /// No noise at all: fully deterministic performance.
+    pub fn none() -> Self {
+        NoiseParams {
+            freq_jitter_sd: 0.0,
+            outlier_prob: 0.0,
+            outlier_factor: 1.0,
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.freq_jitter_sd >= 0.0 && self.freq_jitter_sd < 0.5,
+            "freq jitter sd out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.outlier_prob),
+            "outlier probability must be in [0,1]"
+        );
+        assert!(
+            self.outlier_factor > 0.0 && self.outlier_factor <= 1.0,
+            "outlier factor must be in (0,1]"
+        );
+    }
+
+    /// Draws per-core frequency factors for one run.
+    pub(crate) fn draw_freqs<R: Rng>(&self, rng: &mut R, cores: usize) -> Vec<f64> {
+        (0..cores)
+            .map(|_| {
+                if self.freq_jitter_sd == 0.0 {
+                    1.0
+                } else {
+                    // Box–Muller, clamped to stay physical.
+                    let u1: f64 = rng.random::<f64>().max(1e-12);
+                    let u2: f64 = rng.random();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (1.0 + z * self.freq_jitter_sd).clamp(0.7, 1.3)
+                }
+            })
+            .collect()
+    }
+
+    /// Decides whether this invocation gets an outlier window and, if so,
+    /// which node is affected.
+    pub(crate) fn draw_outlier<R: Rng>(&self, rng: &mut R, nodes: usize) -> Option<usize> {
+        if self.outlier_prob > 0.0 && rng.random::<f64>() < self.outlier_prob {
+            Some(rng.random_range(0..nodes))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_deterministic() {
+        let n = NoiseParams::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = n.draw_freqs(&mut rng, 8);
+        assert!(f.iter().all(|&x| x == 1.0));
+        assert_eq!(n.draw_outlier(&mut rng, 8), None);
+    }
+
+    #[test]
+    fn jitter_is_centered_and_clamped() {
+        let n = NoiseParams {
+            freq_jitter_sd: 0.05,
+            ..NoiseParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = n.draw_freqs(&mut rng, 10_000);
+        let mean: f64 = f.iter().sum::<f64>() / f.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean={mean}");
+        assert!(f.iter().all(|&x| (0.7..=1.3).contains(&x)));
+    }
+
+    #[test]
+    fn outlier_rate_matches_probability() {
+        let n = NoiseParams {
+            outlier_prob: 0.25,
+            ..NoiseParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000)
+            .filter(|_| n.draw_outlier(&mut rng, 4).is_some())
+            .count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let n = NoiseParams::default();
+        let a = n.draw_freqs(&mut StdRng::seed_from_u64(9), 64);
+        let b = n.draw_freqs(&mut StdRng::seed_from_u64(9), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outlier probability")]
+    fn validate_rejects_bad_prob() {
+        let n = NoiseParams {
+            outlier_prob: 1.5,
+            ..NoiseParams::default()
+        };
+        n.validate();
+    }
+}

@@ -1,0 +1,157 @@
+//! Placement plans: how a taskloop's chunks are initially distributed.
+//!
+//! The plan is an *input* to the simulator; computing a good plan is the
+//! scheduler's job (the `ilan` crate). Three shapes cover the paper's three
+//! execution modes:
+//!
+//! * [`PlacementPlan::Flat`] — the LLVM default tasking baseline: every chunk
+//!   enters one shared pool and any active worker may take any chunk.
+//! * [`PlacementPlan::Hierarchical`] — ILAN's mode: chunks are pre-assigned to
+//!   NUMA nodes (each node's chunks conceptually live in its primary thread's
+//!   queue), the first `strict_count` of a node's chunks are NUMA-strict, the
+//!   rest may be batch-stolen by a fully idle remote node.
+//! * [`PlacementPlan::Static`] — OpenMP `for schedule(static)` work-sharing:
+//!   each active worker owns a fixed contiguous slice; no stealing at all.
+
+use ilan_topology::NodeId;
+
+/// Chunks assigned to one NUMA node under a hierarchical plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeAssignment {
+    /// The executing node.
+    pub node: NodeId,
+    /// Indices into the taskloop's `Vec<TaskSpec>`, in execution order.
+    pub tasks: Vec<usize>,
+    /// How many of `tasks` (from the front) are NUMA-strict: they may never
+    /// leave this node. The tail (`tasks[strict_count..]`) is stealable by
+    /// fully idle remote nodes when the steal policy is `full`. Setting
+    /// `strict_count == tasks.len()` expresses the `strict` steal policy.
+    pub strict_count: usize,
+}
+
+impl NodeAssignment {
+    /// Validates the assignment shape.
+    pub fn validate(&self) {
+        assert!(
+            self.strict_count <= self.tasks.len(),
+            "strict_count exceeds task count"
+        );
+    }
+}
+
+/// Initial distribution of a taskloop's chunks over the machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementPlan {
+    /// One shared pool; all chunks in index order; any worker may pop.
+    Flat,
+    /// Per-node pools with NUMA-strict fractions (ILAN §3.3).
+    Hierarchical {
+        /// One entry per *active* node. Nodes absent from the plan run
+        /// nothing (their cores, if active, may still steal under `full`).
+        assignments: Vec<NodeAssignment>,
+    },
+    /// Blocked static partition over the active workers; no pools, no steals.
+    Static,
+}
+
+impl PlacementPlan {
+    /// Convenience constructor for the flat baseline.
+    pub fn flat() -> Self {
+        PlacementPlan::Flat
+    }
+
+    /// Convenience constructor for static work-sharing.
+    pub fn worksharing() -> Self {
+        PlacementPlan::Static
+    }
+
+    /// Validates that a hierarchical plan covers `num_tasks` chunks exactly
+    /// once and that strict counts are in range. Flat/Static plans are always
+    /// valid for any task count.
+    pub fn validate(&self, num_tasks: usize) {
+        if let PlacementPlan::Hierarchical { assignments } = self {
+            let mut seen = vec![false; num_tasks];
+            for a in assignments {
+                a.validate();
+                for &t in &a.tasks {
+                    assert!(t < num_tasks, "task index {t} out of range");
+                    assert!(!seen[t], "task index {t} assigned twice");
+                    seen[t] = true;
+                }
+            }
+            let covered = seen.iter().filter(|&&s| s).count();
+            assert_eq!(
+                covered, num_tasks,
+                "hierarchical plan covers {covered} of {num_tasks} tasks"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_exact_cover() {
+        let plan = PlacementPlan::Hierarchical {
+            assignments: vec![
+                NodeAssignment {
+                    node: NodeId::new(0),
+                    tasks: vec![0, 1, 2],
+                    strict_count: 2,
+                },
+                NodeAssignment {
+                    node: NodeId::new(1),
+                    tasks: vec![3, 4],
+                    strict_count: 2,
+                },
+            ],
+        };
+        plan.validate(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn validate_rejects_double_assignment() {
+        let plan = PlacementPlan::Hierarchical {
+            assignments: vec![NodeAssignment {
+                node: NodeId::new(0),
+                tasks: vec![0, 0],
+                strict_count: 0,
+            }],
+        };
+        plan.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "covers 1 of 2")]
+    fn validate_rejects_partial_cover() {
+        let plan = PlacementPlan::Hierarchical {
+            assignments: vec![NodeAssignment {
+                node: NodeId::new(0),
+                tasks: vec![0],
+                strict_count: 0,
+            }],
+        };
+        plan.validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strict_count")]
+    fn validate_rejects_bad_strict_count() {
+        NodeAssignment {
+            node: NodeId::new(0),
+            tasks: vec![0],
+            strict_count: 2,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn flat_and_static_always_valid() {
+        PlacementPlan::flat().validate(0);
+        PlacementPlan::flat().validate(100);
+        PlacementPlan::worksharing().validate(7);
+    }
+}

@@ -1,0 +1,385 @@
+//! `omp for` → `omp taskloop` source conversion.
+//!
+//! The ILAN paper's benchmarks are data-parallel codes written with OpenMP
+//! work-sharing loops; to evaluate task scheduling, the authors "developed a
+//! simple tool to convert `omp for` constructs into `omp taskloop`, used
+//! solely as an experimental aid" (§1). This crate is that tool: a
+//! line-oriented pragma rewriter for C/C++ sources.
+//!
+//! Conversion rules:
+//!
+//! * `#pragma omp parallel for ⟨clauses⟩` becomes the three-pragma taskloop
+//!   idiom — the team is kept, one thread generates the tasks:
+//!   ```c
+//!   #pragma omp parallel ⟨parallel clauses⟩
+//!   #pragma omp single
+//!   #pragma omp taskloop ⟨loop clauses⟩
+//!   ```
+//! * a bare `#pragma omp for ⟨clauses⟩` (already inside a parallel region)
+//!   becomes `#pragma omp single` + `#pragma omp taskloop ⟨loop clauses⟩`.
+//! * Clauses are routed to whichever directive accepts them:
+//!   `num_threads`, `proc_bind`, `shared`, `default`, `if` stay on
+//!   `parallel`; `private`, `firstprivate`, `lastprivate`, `reduction`,
+//!   `collapse` move to `taskloop`; `schedule`, `ordered` and `nowait` have
+//!   no taskloop equivalent and are dropped with a warning.
+//! * Backslash line continuations are honoured; everything that is not a
+//!   convertible pragma passes through byte-identically.
+//!
+//! This is a pragmatic text transformation, not a C parser — exactly the
+//! scope the paper describes.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// One warning produced during conversion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// 1-based line number of the original pragma.
+    pub line: usize,
+    /// Description of what was dropped or left alone.
+    pub message: String,
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Summary of one conversion pass.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Number of `parallel for` pragmas converted.
+    pub parallel_for_converted: usize,
+    /// Number of bare `for` pragmas converted.
+    pub for_converted: usize,
+    /// Warnings (dropped clauses, unconvertible constructs).
+    pub warnings: Vec<Warning>,
+}
+
+impl Report {
+    /// Total pragmas rewritten.
+    pub fn total_converted(&self) -> usize {
+        self.parallel_for_converted + self.for_converted
+    }
+}
+
+/// Where a clause belongs after the split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ClauseHome {
+    Parallel,
+    Taskloop,
+    Dropped,
+}
+
+fn clause_home(name: &str) -> ClauseHome {
+    match name {
+        "num_threads" | "proc_bind" | "shared" | "default" | "if" | "copyin" => {
+            ClauseHome::Parallel
+        }
+        "private" | "firstprivate" | "lastprivate" | "reduction" | "collapse" | "untied"
+        | "mergeable" | "priority" | "grainsize" | "num_tasks" => ClauseHome::Taskloop,
+        // Work-sharing-only clauses with no taskloop equivalent.
+        "schedule" | "ordered" | "nowait" | "linear" => ClauseHome::Dropped,
+        // Unknown clauses: keep them on the loop directive and let the
+        // compiler complain if they are invalid there.
+        _ => ClauseHome::Taskloop,
+    }
+}
+
+/// Splits a clause list like `private(a, b) reduction(+ : s) collapse(2)`
+/// into individual clauses, respecting parentheses.
+fn split_clauses(s: &str) -> Vec<String> {
+    let mut clauses = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in s.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                current.push(ch);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(ch);
+                if depth == 0 {
+                    clauses.push(current.trim().to_owned());
+                    current.clear();
+                }
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !current.trim().is_empty() {
+                    clauses.push(current.trim().to_owned());
+                }
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        clauses.push(current.trim().to_owned());
+    }
+    clauses
+}
+
+/// The clause's directive-routing name (text before `(`).
+fn clause_name(clause: &str) -> &str {
+    clause.split('(').next().unwrap_or(clause).trim()
+}
+
+/// Result of analysing one logical pragma line.
+enum PragmaKind<'a> {
+    ParallelFor { clauses: &'a str },
+    For { clauses: &'a str },
+    Other,
+}
+
+fn classify(pragma_body: &str) -> PragmaKind<'_> {
+    // pragma_body is the text after "#pragma omp", e.g. "parallel for ...".
+    let trimmed = pragma_body.trim_start();
+    if let Some(rest) = trimmed.strip_prefix("parallel") {
+        let rest_t = rest.trim_start();
+        if let Some(clauses) = rest_t.strip_prefix("for") {
+            // Must be the `for` keyword, not a clause like `firstprivate`.
+            if clauses.is_empty() || !clauses.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            {
+                return PragmaKind::ParallelFor { clauses };
+            }
+        }
+        return PragmaKind::Other;
+    }
+    if let Some(clauses) = trimmed.strip_prefix("for") {
+        if clauses.is_empty() || !clauses.starts_with(|c: char| c.is_alphanumeric() || c == '_') {
+            return PragmaKind::For { clauses };
+        }
+    }
+    PragmaKind::Other
+}
+
+/// Converts one source file, returning the rewritten text and a report.
+pub fn convert_source(input: &str) -> (String, Report) {
+    let mut out = String::with_capacity(input.len() + 256);
+    let mut report = Report::default();
+
+    // Gather logical lines (join backslash continuations), remembering the
+    // starting physical line of each.
+    let mut lines = input.lines().enumerate().peekable();
+    while let Some((idx, line)) = lines.next() {
+        let line_no = idx + 1;
+        let mut logical = line.to_owned();
+        while logical.trim_end().ends_with('\\') {
+            let without = logical.trim_end();
+            logical = without[..without.len() - 1].to_owned();
+            match lines.next() {
+                Some((_, next)) => logical.push_str(next.trim_start()),
+                None => break,
+            }
+        }
+
+        let trimmed = logical.trim_start();
+        let indent = &logical[..logical.len() - trimmed.len()];
+        let Some(body) = strip_omp_pragma(trimmed) else {
+            out.push_str(&logical);
+            out.push('\n');
+            continue;
+        };
+
+        match classify(body) {
+            PragmaKind::ParallelFor { clauses } => {
+                report.parallel_for_converted += 1;
+                let (parallel, taskloop) = route_clauses(clauses, line_no, &mut report.warnings);
+                out.push_str(&format!("{indent}#pragma omp parallel{parallel}\n"));
+                out.push_str(&format!("{indent}#pragma omp single\n"));
+                out.push_str(&format!("{indent}#pragma omp taskloop{taskloop}\n"));
+            }
+            PragmaKind::For { clauses } => {
+                report.for_converted += 1;
+                let (parallel, taskloop) = route_clauses(clauses, line_no, &mut report.warnings);
+                if !parallel.is_empty() {
+                    report.warnings.push(Warning {
+                        line: line_no,
+                        message: format!(
+                            "clauses{parallel} belong to the enclosing parallel region; \
+                             please move them manually"
+                        ),
+                    });
+                }
+                out.push_str(&format!("{indent}#pragma omp single\n"));
+                out.push_str(&format!("{indent}#pragma omp taskloop{taskloop}\n"));
+            }
+            PragmaKind::Other => {
+                out.push_str(&logical);
+                out.push('\n');
+            }
+        }
+    }
+
+    // Preserve the absence of a trailing newline.
+    if !input.ends_with('\n') && out.ends_with('\n') {
+        out.pop();
+    }
+    (out, report)
+}
+
+/// Returns the pragma body after `#pragma omp`, if this is an OpenMP pragma.
+fn strip_omp_pragma(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("#pragma")?.trim_start();
+    rest.strip_prefix("omp")
+        .filter(|r| r.is_empty() || r.starts_with(char::is_whitespace))
+}
+
+/// Splits `clauses` into the parallel-directive suffix and the
+/// taskloop-directive suffix (each either empty or starting with a space).
+fn route_clauses(clauses: &str, line: usize, warnings: &mut Vec<Warning>) -> (String, String) {
+    let mut parallel = String::new();
+    let mut taskloop = String::new();
+    for clause in split_clauses(clauses) {
+        match clause_home(clause_name(&clause)) {
+            ClauseHome::Parallel => {
+                parallel.push(' ');
+                parallel.push_str(&clause);
+            }
+            ClauseHome::Taskloop => {
+                taskloop.push(' ');
+                taskloop.push_str(&clause);
+            }
+            ClauseHome::Dropped => warnings.push(Warning {
+                line,
+                message: format!("clause `{clause}` has no taskloop equivalent; dropped"),
+            }),
+        }
+    }
+    (parallel, taskloop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_plain_parallel_for() {
+        let src = "#pragma omp parallel for\nfor (int i = 0; i < n; i++) a[i] = 0;\n";
+        let (out, report) = convert_source(src);
+        assert_eq!(
+            out,
+            "#pragma omp parallel\n#pragma omp single\n#pragma omp taskloop\n\
+             for (int i = 0; i < n; i++) a[i] = 0;\n"
+        );
+        assert_eq!(report.parallel_for_converted, 1);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn routes_clauses_to_the_right_directive() {
+        let src =
+            "#pragma omp parallel for num_threads(8) private(j) reduction(+:s) schedule(static)\n";
+        let (out, report) = convert_source(src);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "#pragma omp parallel num_threads(8)");
+        assert_eq!(lines[1], "#pragma omp single");
+        assert_eq!(lines[2], "#pragma omp taskloop private(j) reduction(+:s)");
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].message.contains("schedule(static)"));
+    }
+
+    #[test]
+    fn converts_bare_for_inside_parallel() {
+        let src = "  #pragma omp for schedule(dynamic, 4)\n  for (...) {}\n";
+        let (out, report) = convert_source(src);
+        assert_eq!(
+            out,
+            "  #pragma omp single\n  #pragma omp taskloop\n  for (...) {}\n"
+        );
+        assert_eq!(report.for_converted, 1);
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn preserves_indentation() {
+        let src = "\t\t#pragma omp parallel for collapse(2)\n";
+        let (out, _) = convert_source(src);
+        for line in out.lines() {
+            assert!(line.starts_with("\t\t"), "lost indentation: {line:?}");
+        }
+        assert!(out.contains("taskloop collapse(2)"));
+    }
+
+    #[test]
+    fn leaves_other_pragmas_alone() {
+        let src = "#pragma omp parallel\n#pragma omp barrier\n#pragma once\n#pragma omp critical\n";
+        let (out, report) = convert_source(src);
+        assert_eq!(out, src);
+        assert_eq!(report.total_converted(), 0);
+    }
+
+    #[test]
+    fn does_not_mangle_identifiers_starting_with_for() {
+        // `parallel formatting(x)` is not `parallel for`.
+        let src = "#pragma omp parallel formatting(x)\n";
+        let (out, _) = convert_source(src);
+        assert_eq!(out, src);
+        // And `forall` is not `for`.
+        let src2 = "#pragma omp forall\n";
+        let (out2, _) = convert_source(src2);
+        assert_eq!(out2, src2);
+    }
+
+    #[test]
+    fn joins_backslash_continuations() {
+        let src =
+            "#pragma omp parallel for \\\n    private(i, j) \\\n    reduction(max : m)\nbody();\n";
+        let (out, report) = convert_source(src);
+        assert!(out.contains("#pragma omp taskloop private(i, j) reduction(max : m)"));
+        assert!(out.contains("body();"));
+        assert_eq!(report.parallel_for_converted, 1);
+    }
+
+    #[test]
+    fn split_clauses_respects_parentheses() {
+        let clauses = split_clauses("reduction(+ : a, b) private(x) collapse(2)");
+        assert_eq!(
+            clauses,
+            vec!["reduction(+ : a, b)", "private(x)", "collapse(2)"]
+        );
+    }
+
+    #[test]
+    fn non_pragma_content_is_byte_identical() {
+        let src =
+            "int main() {\n  // #pragma omp parallel for in a comment stays? \n  return 0;\n}\n";
+        // Note: a commented pragma at line start would convert; here it is
+        // indented inside a comment — our line-based tool only matches lines
+        // whose first token is `#pragma`, so this passes through.
+        let (out, report) = convert_source(src);
+        assert_eq!(out, src);
+        assert_eq!(report.total_converted(), 0);
+    }
+
+    #[test]
+    fn npb_style_snippet_end_to_end() {
+        let src = r#"void conj_grad() {
+    #pragma omp parallel for default(shared) private(j, k, sum) schedule(static)
+    for (j = 0; j < lastrow - firstrow + 1; j++) {
+        sum = 0.0;
+        for (k = rowstr[j]; k < rowstr[j+1]; k++)
+            sum += a[k] * p[colidx[k]];
+        q[j] = sum;
+    }
+}
+"#;
+        let (out, report) = convert_source(src);
+        assert_eq!(report.parallel_for_converted, 1);
+        assert!(out.contains("#pragma omp parallel default(shared)"));
+        assert!(out.contains("#pragma omp single"));
+        assert!(out.contains("#pragma omp taskloop private(j, k, sum)"));
+        assert!(out.contains("sum += a[k] * p[colidx[k]];"));
+    }
+
+    #[test]
+    fn missing_trailing_newline_preserved() {
+        let src = "x = 1;";
+        let (out, _) = convert_source(src);
+        assert_eq!(out, src);
+    }
+}

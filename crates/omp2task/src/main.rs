@@ -1,0 +1,79 @@
+//! `omp2task` — rewrite OpenMP work-sharing loops as taskloops.
+//!
+//! ```text
+//! omp2task input.c            # writes the conversion to stdout
+//! omp2task input.c -o out.c   # writes to a file
+//! omp2task -                  # reads stdin
+//! ```
+//!
+//! The conversion report (counts and dropped-clause warnings) goes to
+//! stderr. Exit status 0 even with warnings; 1 on IO errors.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input_path = None;
+    let mut output_path = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => match it.next() {
+                Some(p) => output_path = Some(p),
+                None => {
+                    eprintln!("-o needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                eprintln!("usage: omp2task <input.c | -> [-o output.c]");
+                return ExitCode::SUCCESS;
+            }
+            other => input_path = Some(other.to_owned()),
+        }
+    }
+
+    let Some(input_path) = input_path else {
+        eprintln!("usage: omp2task <input.c | -> [-o output.c]");
+        return ExitCode::FAILURE;
+    };
+
+    let source = if input_path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: stdin is not valid UTF-8");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&input_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {input_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let (converted, report) = omp2task::convert_source(&source);
+
+    eprintln!(
+        "converted {} `parallel for` and {} `for` pragma(s)",
+        report.parallel_for_converted, report.for_converted
+    );
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+
+    match output_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, converted) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{converted}"),
+    }
+    ExitCode::SUCCESS
+}

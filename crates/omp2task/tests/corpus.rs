@@ -1,0 +1,118 @@
+//! Corpus test: convert a realistic multi-loop NPB-style source file and
+//! check the complete output, byte for byte.
+
+use omp2task::convert_source;
+
+const INPUT: &str = r#"/* cg.c — excerpt-shaped test corpus */
+#include <omp.h>
+
+static double a[NNZ], x[NA], q[NA], r[NA];
+
+void init(void) {
+    #pragma omp parallel for default(shared) private(j)
+    for (j = 0; j < NA; j++) {
+        x[j] = 1.0;
+    }
+}
+
+double conj_grad(void) {
+    double rho = 0.0;
+    #pragma omp parallel default(shared) num_threads(64)
+    {
+        #pragma omp for private(j, sum) schedule(static) nowait
+        for (j = 0; j < NA; j++) {
+            double sum = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                sum += a[k] * p[colidx[k]];
+            q[j] = sum;
+        }
+
+        #pragma omp for reduction(+ : rho)
+        for (j = 0; j < NA; j++)
+            rho += r[j] * r[j];
+
+        #pragma omp barrier
+        #pragma omp single
+        { norm_temp = 0.0; }
+    }
+    return rho;
+}
+
+void heavy(void) {
+    #pragma omp parallel for collapse(2) \
+        firstprivate(scale) \
+        lastprivate(last)
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            b[i][j] = scale * c[i][j];
+}
+"#;
+
+const EXPECTED: &str = r#"/* cg.c — excerpt-shaped test corpus */
+#include <omp.h>
+
+static double a[NNZ], x[NA], q[NA], r[NA];
+
+void init(void) {
+    #pragma omp parallel default(shared)
+    #pragma omp single
+    #pragma omp taskloop private(j)
+    for (j = 0; j < NA; j++) {
+        x[j] = 1.0;
+    }
+}
+
+double conj_grad(void) {
+    double rho = 0.0;
+    #pragma omp parallel default(shared) num_threads(64)
+    {
+        #pragma omp single
+        #pragma omp taskloop private(j, sum)
+        for (j = 0; j < NA; j++) {
+            double sum = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                sum += a[k] * p[colidx[k]];
+            q[j] = sum;
+        }
+
+        #pragma omp single
+        #pragma omp taskloop reduction(+ : rho)
+        for (j = 0; j < NA; j++)
+            rho += r[j] * r[j];
+
+        #pragma omp barrier
+        #pragma omp single
+        { norm_temp = 0.0; }
+    }
+    return rho;
+}
+
+void heavy(void) {
+    #pragma omp parallel
+    #pragma omp single
+    #pragma omp taskloop collapse(2) firstprivate(scale) lastprivate(last)
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            b[i][j] = scale * c[i][j];
+}
+"#;
+
+#[test]
+fn npb_corpus_converts_exactly() {
+    let (out, report) = convert_source(INPUT);
+    assert_eq!(out, EXPECTED);
+    assert_eq!(report.parallel_for_converted, 2);
+    assert_eq!(report.for_converted, 2);
+    // schedule(static) and nowait dropped with warnings.
+    assert_eq!(report.warnings.len(), 2, "{:?}", report.warnings);
+    assert_eq!(report.total_converted(), 4);
+}
+
+#[test]
+fn conversion_is_idempotent() {
+    // Converting already-converted output changes nothing further.
+    let (once, _) = convert_source(INPUT);
+    let (twice, report) = convert_source(&once);
+    assert_eq!(once, twice);
+    assert_eq!(report.total_converted(), 0);
+}

@@ -1,0 +1,95 @@
+//! A counting completion latch.
+//!
+//! The caller of a taskloop blocks on the latch until every chunk has been
+//! executed. Workers decrement; the final decrement wakes the waiter. Uses a
+//! short spin phase before parking, since taskloop tails are usually short.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts outstanding chunks; wakes waiters when the count reaches zero.
+pub(crate) struct CountLatch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new(count: usize) -> Self {
+        CountLatch {
+            remaining: AtomicUsize::new(count),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Decrements the counter by one; the decrement that reaches zero
+    /// notifies all waiters.
+    pub(crate) fn count_down(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "latch decremented below zero");
+        if prev == 1 {
+            // Take the lock to pair with the waiter's check-then-sleep.
+            let _guard = self.mutex.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Whether the latch has already released.
+    pub(crate) fn is_released(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until the counter reaches zero.
+    pub(crate) fn wait(&self) {
+        // Fast path + brief spin: most loops finish while the caller is hot.
+        for _ in 0..100 {
+            if self.is_released() {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.mutex.lock();
+        while !self.is_released() {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_is_released_immediately() {
+        let l = CountLatch::new(0);
+        assert!(l.is_released());
+        l.wait(); // must not block
+    }
+
+    #[test]
+    fn releases_after_n_decrements() {
+        let l = CountLatch::new(3);
+        l.count_down();
+        l.count_down();
+        assert!(!l.is_released());
+        l.count_down();
+        assert!(l.is_released());
+    }
+
+    #[test]
+    fn cross_thread_wait() {
+        let l = Arc::new(CountLatch::new(4));
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            for _ in 0..4 {
+                std::thread::yield_now();
+                l2.count_down();
+            }
+        });
+        l.wait();
+        assert!(l.is_released());
+        h.join().unwrap();
+    }
+}

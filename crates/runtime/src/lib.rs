@@ -1,0 +1,53 @@
+//! A native work-stealing task runtime with NUMA-hierarchical scheduling.
+//!
+//! This crate re-implements, in Rust, the scheduler-visible behaviour of the
+//! LLVM OpenMP tasking layer that the ILAN paper extends:
+//!
+//! * a pool of worker threads pinned 1:1 to cores (when the OS allows),
+//! * `taskloop`-style execution: an iteration range is partitioned into
+//!   chunks, each chunk becomes a task,
+//! * three execution modes matching the paper's comparison points:
+//!   - [`ExecMode::Flat`] — the default LLVM tasking baseline: one shared
+//!     queue, every worker takes any chunk (random placement in effect);
+//!   - [`ExecMode::Hierarchical`] — ILAN's mode: chunks are pre-assigned to
+//!     NUMA nodes and enqueued on per-node queues; an initial fraction is
+//!     NUMA-strict, the tail may be stolen by fully idle remote nodes
+//!     (`full` steal policy) or not at all (`strict`);
+//!   - [`ExecMode::WorkSharing`] — OpenMP `for schedule(static)`: fixed
+//!     contiguous slices per worker, no queues, no stealing.
+//!
+//! The runtime reports per-invocation statistics ([`LoopReport`]) — makespan,
+//! per-node busy time, scheduling overhead, migrations — which is exactly the
+//! feedback ILAN's Performance Trace Table consumes. The policy side
+//! (choosing thread counts, node masks and steal policies) lives in the
+//! `ilan` crate; this crate only executes.
+//!
+//! # Example
+//!
+//! ```
+//! use ilan_runtime::{ThreadPool, PoolConfig, ExecMode};
+//! use ilan_topology::presets;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! // A small pool (oversubscription is fine for functional use).
+//! let pool = ThreadPool::new(PoolConfig::new(presets::smp(4))).unwrap();
+//! let sum = AtomicUsize::new(0);
+//! let report = pool.taskloop(0..1000, 16, ExecMode::Flat, |range| {
+//!     sum.fetch_add(range.sum::<usize>(), Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! assert_eq!(report.tasks_executed(), 63); // ceil(1000/16)
+//! ```
+
+#![warn(missing_docs)]
+
+mod chunk;
+mod latch;
+mod pin;
+mod pool;
+mod report;
+
+pub use chunk::{chunk_ranges, ChunkAssignment, Grain};
+pub use pin::{pin_current_thread, PinMode};
+pub use pool::{ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool};
+pub use report::{LoopReport, NodeReport};

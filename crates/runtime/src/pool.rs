@@ -1,0 +1,852 @@
+//! The worker pool and taskloop execution engine.
+
+use crate::chunk::{chunk_ranges, ChunkAssignment, Grain};
+use crate::latch::CountLatch;
+use crate::pin::{pin_current_thread, PinMode};
+use crate::report::{LoopReport, NodeReport};
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use crossbeam_utils::CachePadded;
+use ilan_topology::{NodeId, NodeMask, Topology};
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Inter-node steal policy of a hierarchical taskloop (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// Work-stealing confined to the chunk's assigned NUMA node.
+    Strict,
+    /// The stealable tail of each node's chunks may migrate to another node
+    /// once that node has exhausted its own queues.
+    Full,
+}
+
+/// How one taskloop invocation is executed.
+#[derive(Clone, Debug)]
+pub enum ExecMode {
+    /// LLVM-default tasking baseline: one shared queue, every worker takes
+    /// any chunk. Uses all workers.
+    Flat,
+    /// OpenMP `for schedule(static)` work-sharing: fixed contiguous slices,
+    /// no queues, no stealing. Uses all workers.
+    WorkSharing,
+    /// ILAN hierarchical distribution: chunks pre-assigned to the nodes of
+    /// `mask`, an initial fraction NUMA-strict, optional inter-node stealing
+    /// of the tail.
+    Hierarchical {
+        /// Nodes eligible to execute the loop.
+        mask: NodeMask,
+        /// Total active threads, distributed evenly over the mask's nodes
+        /// (each node activates its lowest cores first). Clamped to the
+        /// cores available in the mask; 0 means "all cores of the mask".
+        threads: usize,
+        /// Fraction of each node's chunks that are NUMA-strict under
+        /// [`StealPolicy::Full`]; ignored under `Strict` (everything is
+        /// strict then).
+        strict_fraction: f64,
+        /// Whether the stealable tail may migrate across nodes.
+        policy: StealPolicy,
+    },
+}
+
+/// Pool construction parameters.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Machine model: one worker is spawned per topology core.
+    pub topology: Topology,
+    /// Pinning behaviour.
+    pub pin: PinMode,
+}
+
+impl PoolConfig {
+    /// Configuration with default (auto) pinning.
+    pub fn new(topology: Topology) -> Self {
+        PoolConfig {
+            topology,
+            pin: PinMode::Auto,
+        }
+    }
+
+    /// Sets the pinning mode.
+    pub fn pin(mut self, pin: PinMode) -> Self {
+        self.pin = pin;
+        self
+    }
+}
+
+/// Errors from pool construction.
+#[derive(Debug)]
+pub enum PoolError {
+    /// [`PinMode::Require`] was set and some worker could not be pinned.
+    PinFailed {
+        /// Index of the first core that could not be pinned.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::PinFailed { core } => {
+                write!(f, "required pinning failed for core {core}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Erased pointer to the loop body closure.
+///
+/// Validity: the dispatching call does not return until every active worker
+/// has left the loop (worker-exit latch), so the pointee outlives all
+/// dereferences.
+struct BodyPtr(*const (dyn Fn(Range<usize>) + Sync));
+// SAFETY: the pointee is `Sync` and only shared for the duration of the
+// dispatch call, which outlives all uses (see struct docs).
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+/// One chunk of a taskloop.
+struct Chunk {
+    range: Range<usize>,
+    /// The node this chunk is assigned to (its data home under blocked
+    /// first-touch initialisation).
+    home: NodeId,
+}
+
+// One `Queues` exists per taskloop invocation, so the size spread between
+// variants is irrelevant next to the allocation traffic it gates.
+#[allow(clippy::large_enum_variant)]
+enum Queues {
+    Flat(Injector<usize>),
+    Hier {
+        /// Per-node queue of NUMA-strict chunk indices.
+        strict: Vec<Injector<usize>>,
+        /// Per-node queue of chunks stealable across nodes.
+        shared: Vec<Injector<usize>>,
+        policy: StealPolicy,
+    },
+    /// Per-worker contiguous chunk-index slices.
+    Static(Vec<Range<usize>>),
+}
+
+struct NodeAtomics {
+    tasks: CachePadded<AtomicUsize>,
+    local_tasks: AtomicUsize,
+    busy_ns: AtomicU64,
+}
+
+impl NodeAtomics {
+    fn new() -> Self {
+        NodeAtomics {
+            tasks: CachePadded::new(AtomicUsize::new(0)),
+            local_tasks: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+struct LoopRun {
+    body: BodyPtr,
+    chunks: Vec<Chunk>,
+    queues: Queues,
+    /// Which workers participate in this invocation.
+    active: Vec<bool>,
+    /// Released when every active worker has left the loop.
+    exit_latch: CountLatch,
+    node_stats: Vec<NodeAtomics>,
+    migrations: AtomicUsize,
+    overhead_ns: AtomicU64,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    threads: usize,
+}
+
+struct SyncState {
+    epoch: u64,
+    run: Option<Arc<LoopRun>>,
+}
+
+struct Shared {
+    topology: Topology,
+    sync: Mutex<SyncState>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    /// Stealer handles onto every worker's private Chase–Lev deque, indexed
+    /// by worker (== core) id. Intra-node peers steal through these; remote
+    /// steals go through the shared injectors only, so NUMA-strict chunks
+    /// never leave their node once they reach a private deque.
+    stealers: Vec<Stealer<usize>>,
+}
+
+/// A pool of worker threads, one per topology core.
+///
+/// The pool executes one taskloop at a time (taskloops end with an implicit
+/// barrier in the paper's execution model); concurrent [`taskloop`] calls
+/// from different threads serialize on an internal lock.
+///
+/// [`taskloop`]: ThreadPool::taskloop
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    dispatch_lock: Mutex<()>,
+    pinned_workers: usize,
+}
+
+impl ThreadPool {
+    /// Spawns one worker per topology core.
+    pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
+        let cores = config.topology.num_cores();
+        // One private Chase–Lev deque per worker; the Worker end moves into
+        // its thread, the Stealer ends are shared.
+        let mut deques: Vec<Deque<usize>> = (0..cores).map(|_| Deque::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            topology: config.topology.clone(),
+            sync: Mutex::new(SyncState {
+                epoch: 0,
+                run: None,
+            }),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stealers,
+        });
+
+        let pin_results: Arc<Vec<AtomicBool>> =
+            Arc::new((0..cores).map(|_| AtomicBool::new(false)).collect());
+        let ready = Arc::new(CountLatch::new(cores));
+
+        let mut handles = Vec::with_capacity(cores);
+        for (i, deque) in deques.drain(..).enumerate() {
+            let shared = Arc::clone(&shared);
+            let pin_results = Arc::clone(&pin_results);
+            let ready = Arc::clone(&ready);
+            let pin_mode = config.pin;
+            let handle = std::thread::Builder::new()
+                .name(format!("ilan-worker-{i}"))
+                .spawn(move || {
+                    if pin_mode != PinMode::Never {
+                        let ok = pin_current_thread(ilan_topology::CoreId::new(i));
+                        pin_results[i].store(ok, Ordering::Release);
+                    }
+                    ready.count_down();
+                    worker_main(&shared, i, &deque);
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        ready.wait();
+
+        let pinned = pin_results
+            .iter()
+            .filter(|r| r.load(Ordering::Acquire))
+            .count();
+        if config.pin == PinMode::Require && pinned < cores {
+            let core = pin_results
+                .iter()
+                .position(|r| !r.load(Ordering::Acquire))
+                .unwrap_or(0);
+            // Tear the pool down before reporting failure.
+            shared.shutdown.store(true, Ordering::Release);
+            {
+                let _g = shared.sync.lock();
+                shared.cond.notify_all();
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+            return Err(PoolError::PinFailed { core });
+        }
+
+        Ok(ThreadPool {
+            shared,
+            handles,
+            dispatch_lock: Mutex::new(()),
+            pinned_workers: pinned,
+        })
+    }
+
+    /// The pool's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Number of workers successfully pinned to their cores.
+    pub fn pinned_workers(&self) -> usize {
+        self.pinned_workers
+    }
+
+    /// Total worker count (== topology cores).
+    pub fn num_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes a taskloop over `range` with chunks of at most `grainsize`
+    /// iterations, under the given execution mode. Blocks until every chunk
+    /// has executed and all participating workers have quiesced (the
+    /// taskloop's implicit barrier), then returns the invocation report.
+    ///
+    /// # Panics
+    /// Re-raises any panic from the body, and panics if `grainsize == 0` or
+    /// a hierarchical mode references an empty node mask.
+    pub fn taskloop<F>(
+        &self,
+        range: Range<usize>,
+        grainsize: usize,
+        mode: ExecMode,
+        body: F,
+    ) -> LoopReport
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.taskloop_with(range, Grain::Size(grainsize), mode, body)
+    }
+
+    /// Like [`taskloop`](Self::taskloop) with an OpenMP-style [`Grain`]
+    /// specification (`grainsize` / `num_tasks` / implementation default).
+    pub fn taskloop_with<F>(
+        &self,
+        range: Range<usize>,
+        grain: Grain,
+        mode: ExecMode,
+        body: F,
+    ) -> LoopReport
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let _dispatch_guard = self.dispatch_lock.lock();
+        let topo = &self.shared.topology;
+        let num_nodes = topo.num_nodes();
+        let all_workers = self.num_workers();
+        let grainsize = grain.resolve(range.len(), all_workers);
+        let ranges = chunk_ranges(range, grainsize);
+        let num_chunks = ranges.len();
+
+        // Data homes: blocked first-touch layout over all nodes, identical in
+        // every mode so locality statistics are comparable.
+        let data_homes = ChunkAssignment::new(topo.all_nodes(), num_chunks.max(1));
+        let chunks: Vec<Chunk> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| Chunk {
+                range,
+                home: data_homes.node_of_chunk(i),
+            })
+            .collect();
+
+        // Resolve the active worker set and the queues.
+        let mut active = vec![false; all_workers];
+        let queues = match &mode {
+            ExecMode::Flat => {
+                active.iter_mut().for_each(|a| *a = true);
+                let q = Injector::new();
+                for i in 0..num_chunks {
+                    q.push(i);
+                }
+                Queues::Flat(q)
+            }
+            ExecMode::WorkSharing => {
+                active.iter_mut().for_each(|a| *a = true);
+                let mut slices = Vec::with_capacity(all_workers);
+                for w in 0..all_workers {
+                    let lo = w * num_chunks / all_workers;
+                    let hi = (w + 1) * num_chunks / all_workers;
+                    slices.push(lo..hi);
+                }
+                Queues::Static(slices)
+            }
+            ExecMode::Hierarchical {
+                mask,
+                threads,
+                strict_fraction,
+                policy,
+            } => {
+                assert!(!mask.is_empty(), "hierarchical mode needs a non-empty mask");
+                assert!(
+                    (0.0..=1.0).contains(strict_fraction),
+                    "strict_fraction must be in [0,1]"
+                );
+                // Distribute threads over the mask's nodes, lowest cores
+                // first within each node.
+                let k = mask.count();
+                let max_threads = k * topo.cores_per_node();
+                let want = if *threads == 0 {
+                    max_threads
+                } else {
+                    (*threads).min(max_threads)
+                };
+                for (rank, node) in mask.iter().enumerate() {
+                    let per = want / k + usize::from(rank < want % k);
+                    for core in topo.cores_of_node(node).take(per) {
+                        active[core.index()] = true;
+                    }
+                }
+                // Ensure at least the primary of the first node is active.
+                if !active.iter().any(|&a| a) {
+                    active[topo.primary_core(mask.first().unwrap()).index()] = true;
+                }
+
+                let strict: Vec<Injector<usize>> =
+                    (0..num_nodes).map(|_| Injector::new()).collect();
+                let shared: Vec<Injector<usize>> =
+                    (0..num_nodes).map(|_| Injector::new()).collect();
+                let assignment = ChunkAssignment::new(*mask, num_chunks.max(1));
+                for (node, idxs) in assignment.per_node() {
+                    let strict_count = match policy {
+                        StealPolicy::Strict => idxs.len(),
+                        StealPolicy::Full => {
+                            ((idxs.len() as f64) * strict_fraction).round() as usize
+                        }
+                    };
+                    for (j, idx) in idxs.into_iter().enumerate() {
+                        if j < strict_count {
+                            strict[node.index()].push(idx);
+                        } else {
+                            shared[node.index()].push(idx);
+                        }
+                    }
+                }
+                Queues::Hier {
+                    strict,
+                    shared,
+                    policy: *policy,
+                }
+            }
+        };
+
+        // In hierarchical mode chunks are assigned to the mask's nodes, not
+        // their data homes; recompute homes so migration statistics reflect
+        // the *assignment* (matching the paper's definition of a migration).
+        let chunks = if let ExecMode::Hierarchical { mask, .. } = &mode {
+            let assignment = ChunkAssignment::new(*mask, num_chunks.max(1));
+            chunks
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| Chunk {
+                    range: c.range,
+                    home: assignment.node_of_chunk(i),
+                })
+                .collect()
+        } else {
+            chunks
+        };
+
+        let threads = active.iter().filter(|&&a| a).count();
+        let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
+        // SAFETY: extending the body's lifetime; validity argued on BodyPtr.
+        let body_ptr = BodyPtr(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(Range<usize>) + Sync),
+                *const (dyn Fn(Range<usize>) + Sync),
+            >(body_ref as *const _)
+        });
+
+        let run = Arc::new(LoopRun {
+            body: body_ptr,
+            chunks,
+            queues,
+            active,
+            exit_latch: CountLatch::new(threads),
+            node_stats: (0..num_nodes).map(|_| NodeAtomics::new()).collect(),
+            migrations: AtomicUsize::new(0),
+            overhead_ns: AtomicU64::new(0),
+            panic: Mutex::new(None),
+            threads,
+        });
+
+        let start = Instant::now();
+        {
+            let mut g = self.shared.sync.lock();
+            g.epoch += 1;
+            g.run = Some(Arc::clone(&run));
+            self.shared.cond.notify_all();
+        }
+        run.exit_latch.wait();
+        let makespan = start.elapsed();
+        {
+            let mut g = self.shared.sync.lock();
+            g.run = None;
+        }
+
+        if let Some(payload) = run.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+
+        let nodes = run
+            .node_stats
+            .iter()
+            .map(|s| NodeReport {
+                tasks: s.tasks.load(Ordering::Acquire),
+                local_tasks: s.local_tasks.load(Ordering::Acquire),
+                busy: Duration::from_nanos(s.busy_ns.load(Ordering::Acquire)),
+            })
+            .collect();
+
+        LoopReport {
+            makespan,
+            sched_overhead: Duration::from_nanos(run.overhead_ns.load(Ordering::Acquire)),
+            nodes,
+            migrations: run.migrations.load(Ordering::Acquire),
+            threads: run.threads,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sync.lock();
+            self.shared.cond.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let run = {
+            let mut g = shared.sync.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if g.epoch != seen_epoch {
+                    seen_epoch = g.epoch;
+                    break g.run.clone();
+                }
+                shared.cond.wait(&mut g);
+            }
+        };
+        let Some(run) = run else { continue };
+        if run.active[index] {
+            work(shared, &run, index, deque);
+            run.exit_latch.count_down();
+            debug_assert!(deque.pop().is_none(), "worker left chunks in its deque");
+        }
+    }
+}
+
+/// Executes one chunk and records its statistics.
+fn execute_chunk(run: &LoopRun, chunk_idx: usize, my_node: NodeId, migrated: bool) {
+    let chunk = &run.chunks[chunk_idx];
+    let body_start = Instant::now();
+    // SAFETY: the dispatcher keeps the body alive until exit_latch releases,
+    // which happens after this call returns.
+    let body = unsafe { &*run.body.0 };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(chunk.range.clone())));
+    let elapsed = body_start.elapsed();
+
+    if let Err(payload) = result {
+        let mut slot = run.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    let stats = &run.node_stats[my_node.index()];
+    stats
+        .busy_ns
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::AcqRel);
+    stats.tasks.fetch_add(1, Ordering::AcqRel);
+    if chunk.home == my_node {
+        stats.local_tasks.fetch_add(1, Ordering::AcqRel);
+    }
+    if migrated {
+        run.migrations.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Pops or steals chunk indices until no work is reachable for this worker.
+fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
+    let topo = &shared.topology;
+    let my_core = ilan_topology::CoreId::new(index);
+    let my_node = topo.node_of_core(my_core);
+    let mut overhead_ns = 0u64;
+
+    if let Queues::Static(slices) = &run.queues {
+        // Work-sharing: drain the private slice, nothing to steal.
+        for chunk_idx in slices[index].clone() {
+            let migrated = run.chunks[chunk_idx].home != my_node;
+            execute_chunk(run, chunk_idx, my_node, migrated);
+        }
+        return;
+    }
+
+    loop {
+        let acquire_start = Instant::now();
+        // Fast path: the private deque (filled by earlier batch steals).
+        let acquired = match deque.pop() {
+            Some(i) => Some((i, run.chunks[i].home != my_node)),
+            None => acquire(shared, run, index, my_node, topo, deque),
+        };
+        overhead_ns += acquire_start.elapsed().as_nanos() as u64;
+        let Some((chunk_idx, migrated)) = acquired else {
+            break;
+        };
+        execute_chunk(run, chunk_idx, my_node, migrated);
+    }
+
+    run.overhead_ns.fetch_add(overhead_ns, Ordering::AcqRel);
+}
+
+/// One acquisition sweep when the private deque is empty. Batch steals from
+/// injectors refill the deque (amortizing synchronization, like LLVM's
+/// taskloop splitting); peer-deque steals stay within the NUMA node so
+/// strict chunks never migrate. Returns the chunk index and whether taking
+/// it crossed NUMA nodes.
+fn acquire(
+    shared: &Shared,
+    run: &LoopRun,
+    index: usize,
+    my_node: NodeId,
+    topo: &Topology,
+    deque: &Deque<usize>,
+) -> Option<(usize, bool)> {
+    match &run.queues {
+        Queues::Flat(q) => {
+            if let Some(i) = batch_steal_until(q, deque) {
+                return Some((i, run.chunks[i].home != my_node));
+            }
+            // Steal from peer deques anywhere (the flat baseline is
+            // NUMA-oblivious), scanning from the next worker around.
+            let n = shared.stealers.len();
+            for k in 1..n {
+                let v = (index + k) % n;
+                if let Some(i) = peer_steal_until(&shared.stealers[v], deque) {
+                    return Some((i, run.chunks[i].home != my_node));
+                }
+            }
+            None
+        }
+        Queues::Hier {
+            strict,
+            shared: shared_q,
+            policy,
+        } => {
+            if let Some(i) = batch_steal_until(&strict[my_node.index()], deque) {
+                return Some((i, false));
+            }
+            if let Some(i) = batch_steal_until(&shared_q[my_node.index()], deque) {
+                return Some((i, false));
+            }
+            // Intra-node peer deques (chunks there stay on this node).
+            for peer in topo.cores_of_node(my_node) {
+                if peer.index() != index {
+                    if let Some(i) = peer_steal_until(&shared.stealers[peer.index()], deque) {
+                        return Some((i, false));
+                    }
+                }
+            }
+            if *policy == StealPolicy::Full {
+                // Own node fully idle: visit other nodes' *shared injectors*
+                // nearest-first. Never their private deques — those may hold
+                // NUMA-strict chunks.
+                for victim in topo.distances().neighbors_by_distance(my_node) {
+                    if let Some(i) = batch_steal_until(&shared_q[victim.index()], deque) {
+                        return Some((i, true));
+                    }
+                }
+            }
+            None
+        }
+        Queues::Static(_) => unreachable!("static slices are drained directly in `work`"),
+    }
+}
+
+/// Steals a batch from an injector into the private deque and pops one.
+fn batch_steal_until(q: &Injector<usize>, deque: &Deque<usize>) -> Option<usize> {
+    loop {
+        match q.steal_batch_and_pop(deque) {
+            Steal::Success(i) => return Some(i),
+            Steal::Empty => return None,
+            Steal::Retry => std::hint::spin_loop(),
+        }
+    }
+}
+
+/// Steals up to half of a peer's deque into ours and pops one.
+fn peer_steal_until(victim: &Stealer<usize>, deque: &Deque<usize>) -> Option<usize> {
+    loop {
+        match victim.steal_batch_and_pop(deque) {
+            Steal::Success(i) => return Some(i),
+            Steal::Empty => return None,
+            Steal::Retry => std::hint::spin_loop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan_topology::presets;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(topo: Topology) -> ThreadPool {
+        ThreadPool::new(PoolConfig::new(topo).pin(PinMode::Never)).unwrap()
+    }
+
+    #[test]
+    fn flat_executes_all_iterations_once() {
+        let p = pool(presets::tiny_2x4());
+        let flags: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let report = p.taskloop(0..1000, 7, ExecMode::Flat, |r| {
+            for i in r {
+                flags[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+        assert_eq!(report.tasks_executed(), 1000_usize.div_ceil(7));
+        assert_eq!(report.threads, 8);
+    }
+
+    #[test]
+    fn hierarchical_strict_executes_all_and_never_migrates() {
+        let p = pool(presets::tiny_2x4());
+        let count = AtomicUsize::new(0);
+        let mode = ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let report = p.taskloop(0..512, 8, mode, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 512);
+        assert_eq!(report.migrations, 0);
+        assert!((report.locality_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worksharing_executes_all() {
+        let p = pool(presets::tiny_2x4());
+        let count = AtomicUsize::new(0);
+        let report = p.taskloop(0..999, 10, ExecMode::WorkSharing, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 999);
+        assert_eq!(report.tasks_executed(), 100);
+        assert_eq!(report.migrations, 0);
+    }
+
+    #[test]
+    fn hierarchical_reduced_threads() {
+        let p = pool(presets::tiny_2x4());
+        let count = AtomicUsize::new(0);
+        let mode = ExecMode::Hierarchical {
+            mask: NodeMask::first_n(1),
+            threads: 2,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let report = p.taskloop(0..100, 5, mode, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(report.threads, 2);
+        // Everything ran on node 0.
+        assert_eq!(report.nodes[0].tasks, 20);
+        assert_eq!(report.nodes[1].tasks, 0);
+    }
+
+    #[test]
+    fn full_policy_migrates_under_imbalance() {
+        let p = pool(presets::tiny_2x4());
+        // All the heavy work lands in node 0's chunks.
+        let mode = ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 0.0,
+            policy: StealPolicy::Full,
+        };
+        let report = p.taskloop(0..64, 1, mode, |r| {
+            if r.start < 32 {
+                // Node-0 chunks are slow.
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        });
+        assert_eq!(report.tasks_executed(), 64);
+        // With a fully stealable tail and this much imbalance, at least one
+        // chunk must have migrated.
+        assert!(report.migrations > 0, "expected migrations");
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let p = pool(presets::tiny_2x4());
+        let report = p.taskloop(10..10, 4, ExecMode::Flat, |_| {
+            panic!("body must not run");
+        });
+        assert_eq!(report.tasks_executed(), 0);
+    }
+
+    #[test]
+    fn body_panic_propagates() {
+        let p = pool(presets::tiny_2x4());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.taskloop(0..10, 1, ExecMode::Flat, |r| {
+                if r.start == 5 {
+                    panic!("boom in chunk");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool is still usable afterwards.
+        let count = AtomicUsize::new(0);
+        p.taskloop(0..10, 1, ExecMode::Flat, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn sequential_loops_reuse_pool() {
+        let p = pool(presets::tiny_2x4());
+        for n in [1usize, 17, 256, 33] {
+            let count = AtomicUsize::new(0);
+            p.taskloop(0..n, 4, ExecMode::Flat, |r| {
+                count.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), n);
+        }
+    }
+
+    #[test]
+    fn single_core_topology_works() {
+        let p = pool(presets::smp(1));
+        let count = AtomicUsize::new(0);
+        let report = p.taskloop(0..50, 8, ExecMode::Flat, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+        assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn require_pin_fails_for_oversized_topology() {
+        // 64 cores cannot be pinned on this machine unless it really has 64.
+        if crate::pin::online_cpus() < 64 {
+            let r = ThreadPool::new(PoolConfig::new(presets::epyc_9354_2s()).pin(PinMode::Require));
+            assert!(matches!(r, Err(PoolError::PinFailed { .. })));
+        }
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let p = pool(presets::tiny_2x4());
+        let report = p.taskloop(0..256, 4, ExecMode::Flat, |r| {
+            std::hint::black_box(r.sum::<usize>());
+        });
+        assert_eq!(report.tasks_executed(), 64);
+        let per_node: usize = report.nodes.iter().map(|n| n.tasks).sum();
+        assert_eq!(per_node, 64);
+        assert!(report.makespan > Duration::ZERO);
+    }
+}

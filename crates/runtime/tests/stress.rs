@@ -1,0 +1,158 @@
+//! Stress and concurrency tests for the native runtime.
+
+use ilan_runtime::{ExecMode, PinMode, PoolConfig, StealPolicy, ThreadPool};
+use ilan_topology::{presets, NodeMask};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(topo: ilan_topology::Topology) -> ThreadPool {
+    ThreadPool::new(PoolConfig::new(topo).pin(PinMode::Never)).expect("pool")
+}
+
+#[test]
+fn many_small_loops_back_to_back() {
+    let p = pool(presets::tiny_2x4());
+    for round in 0..200 {
+        let n = 1 + (round * 37) % 257;
+        let count = AtomicUsize::new(0);
+        p.taskloop(0..n, 1 + round % 9, ExecMode::Flat, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n, "round {round}");
+    }
+}
+
+#[test]
+fn oversubscribed_pool_is_correct() {
+    // 64 workers on however many cores this machine has.
+    let p = pool(presets::epyc_9354_2s());
+    let count = AtomicUsize::new(0);
+    let report = p.taskloop(0..10_000, 50, ExecMode::Flat, |r| {
+        count.fetch_add(r.len(), Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    assert_eq!(report.threads, 64);
+}
+
+#[test]
+fn alternating_modes_share_one_pool() {
+    let p = pool(presets::tiny_2x4());
+    let mask = p.topology().all_nodes();
+    let modes = [
+        ExecMode::Flat,
+        ExecMode::WorkSharing,
+        ExecMode::Hierarchical {
+            mask,
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        },
+        ExecMode::Hierarchical {
+            mask: NodeMask::first_n(1),
+            threads: 2,
+            strict_fraction: 0.0,
+            policy: StealPolicy::Full,
+        },
+    ];
+    for round in 0..40 {
+        let mode = modes[round % modes.len()].clone();
+        let count = AtomicUsize::new(0);
+        p.taskloop(0..500, 8, mode, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500, "round {round}");
+    }
+}
+
+#[test]
+fn taskloop_from_multiple_caller_threads_serializes() {
+    let p = std::sync::Arc::new(pool(presets::tiny_2x4()));
+    let total = std::sync::Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let p = std::sync::Arc::clone(&p);
+            let total = std::sync::Arc::clone(&total);
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let local = AtomicUsize::new(0);
+                    p.taskloop(0..300, 10, ExecMode::Flat, |r| {
+                        local.fetch_add(r.len(), Ordering::Relaxed);
+                    });
+                    assert_eq!(local.load(Ordering::Relaxed), 300);
+                    total.fetch_add(300, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4 * 10 * 300);
+}
+
+#[test]
+fn heavy_imbalance_with_full_stealing_balances() {
+    let p = pool(presets::tiny_2x4());
+    // One pathological chunk 100× the rest.
+    let report = p.taskloop(
+        0..64,
+        1,
+        ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 0.0,
+            policy: StealPolicy::Full,
+        },
+        |r| {
+            let spins = if r.start == 0 { 2_000_000 } else { 20_000 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+        },
+    );
+    assert_eq!(report.tasks_executed(), 64);
+}
+
+#[test]
+fn grainsize_one_with_tiny_bodies() {
+    let p = pool(presets::tiny_2x4());
+    let count = AtomicUsize::new(0);
+    let report = p.taskloop(0..5_000, 1, ExecMode::Flat, |r| {
+        count.fetch_add(r.len(), Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 5_000);
+    assert_eq!(report.tasks_executed(), 5_000);
+}
+
+#[test]
+fn pool_drop_with_pending_nothing_hangs() {
+    // Construct and immediately drop pools repeatedly: no deadlock or leak
+    // of worker threads (join happens in Drop).
+    for _ in 0..20 {
+        let p = pool(presets::smp(4));
+        drop(p);
+    }
+}
+
+#[test]
+fn reports_capture_mode_differences() {
+    let p = pool(presets::tiny_2x4());
+    let strict = p.taskloop(
+        0..2_000,
+        10,
+        ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        },
+        |r| {
+            std::hint::black_box(r.sum::<usize>());
+        },
+    );
+    assert_eq!(strict.migrations, 0);
+    assert!((strict.locality_fraction() - 1.0).abs() < 1e-9);
+
+    let ws = p.taskloop(0..2_000, 10, ExecMode::WorkSharing, |r| {
+        std::hint::black_box(r.sum::<usize>());
+    });
+    assert_eq!(ws.tasks_executed(), 200);
+}

@@ -1,0 +1,168 @@
+//! Best-effort topology detection from the running machine.
+//!
+//! On Linux this reads `/sys/devices/system/node` and
+//! `/sys/devices/system/cpu`, mirroring the subset of hwloc queries the ILAN
+//! runtime performs. When the layout is irregular (non-uniform node sizes,
+//! offline CPUs interleaved) or the platform is not Linux, detection degrades
+//! to a flat SMP topology over [`available_parallelism`] cores — scheduling is
+//! still correct, only less informed, exactly as a hwloc-less OpenMP build
+//! would behave.
+//!
+//! [`available_parallelism`]: std::thread::available_parallelism
+
+use crate::presets;
+use crate::topo::Topology;
+
+/// Detects the current machine's topology, falling back to flat SMP.
+///
+/// Never fails: the worst case is a 1-core SMP description.
+pub fn detect() -> Topology {
+    detect_linux_sysfs().unwrap_or_else(fallback_smp)
+}
+
+/// A flat SMP topology over the visible logical CPUs.
+pub fn fallback_smp() -> Topology {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    presets::smp(cores)
+}
+
+/// Attempts sysfs-based detection. Returns `None` on any irregularity.
+fn detect_linux_sysfs() -> Option<Topology> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let online = std::fs::read_to_string("/sys/devices/system/node/online").ok()?;
+    let node_ids = parse_id_list(online.trim())?;
+    if node_ids.is_empty() {
+        return None;
+    }
+    // Node ids must be dense starting at zero for our dense model.
+    for (i, &id) in node_ids.iter().enumerate() {
+        if id != i {
+            return None;
+        }
+    }
+    let mut cores_per_node = None;
+    for &node in &node_ids {
+        let cpulist =
+            std::fs::read_to_string(format!("/sys/devices/system/node/node{node}/cpulist")).ok()?;
+        let cpus = parse_id_list(cpulist.trim())?;
+        match cores_per_node {
+            None => cores_per_node = Some(cpus.len()),
+            Some(n) if n == cpus.len() => {}
+            // Irregular node sizes: bail out to SMP.
+            Some(_) => return None,
+        }
+    }
+    let cores_per_node = cores_per_node?;
+    if cores_per_node == 0 {
+        return None;
+    }
+    // Socket structure: read physical_package_id of the first cpu of each node.
+    let mut packages = Vec::new();
+    for &node in &node_ids {
+        let first_cpu = node * cores_per_node;
+        let pkg = std::fs::read_to_string(format!(
+            "/sys/devices/system/cpu/cpu{first_cpu}/topology/physical_package_id"
+        ))
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+        packages.push(pkg);
+    }
+    let num_sockets = packages
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let nodes = node_ids.len();
+    if num_sockets == 0 || nodes % num_sockets != 0 {
+        return None;
+    }
+    Topology::builder()
+        .sockets(num_sockets)
+        .nodes_per_socket(nodes / num_sockets)
+        .cores_per_node(cores_per_node)
+        .build()
+        .ok()
+}
+
+/// Parses a Linux id list like `0-3,8,10-11` into sorted ids.
+pub(crate) fn parse_id_list(s: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    if s.is_empty() {
+        return Some(out);
+    }
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse().ok()?;
+            let b: usize = b.trim().parse().ok()?;
+            if b < a {
+                return None;
+            }
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse().ok()?);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single() {
+        assert_eq!(parse_id_list("0"), Some(vec![0]));
+        assert_eq!(parse_id_list("7"), Some(vec![7]));
+    }
+
+    #[test]
+    fn parse_range() {
+        assert_eq!(parse_id_list("0-3"), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn parse_mixed() {
+        assert_eq!(parse_id_list("0-2,5,7-8"), Some(vec![0, 1, 2, 5, 7, 8]));
+    }
+
+    #[test]
+    fn parse_dedups_and_sorts() {
+        assert_eq!(parse_id_list("5,0-2,2"), Some(vec![0, 1, 2, 5]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_id_list("a-b"), None);
+        assert_eq!(parse_id_list("3-1"), None);
+        assert_eq!(parse_id_list("1,,2"), None);
+    }
+
+    #[test]
+    fn parse_empty() {
+        assert_eq!(parse_id_list(""), Some(vec![]));
+    }
+
+    #[test]
+    fn detect_never_panics_and_is_nonempty() {
+        let t = detect();
+        assert!(t.num_cores() >= 1);
+        assert!(t.num_nodes() >= 1);
+    }
+
+    #[test]
+    fn fallback_matches_available_parallelism() {
+        let t = fallback_smp();
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(t.num_cores(), n);
+        assert_eq!(t.num_nodes(), 1);
+    }
+}

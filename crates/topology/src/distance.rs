@@ -1,0 +1,157 @@
+//! NUMA distance matrices.
+//!
+//! Distances follow the ACPI SLIT convention also used by `numactl --hardware`:
+//! local access is normalized to 10, and a remote access with distance *d* costs
+//! roughly *d*/10× the local latency. The matrix need not be symmetric in
+//! general, though all presets in this crate are.
+
+use crate::ids::NodeId;
+
+/// Square matrix of relative access distances between NUMA nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n` distances.
+    d: Vec<u16>,
+}
+
+/// The SLIT value for local access.
+pub const LOCAL_DISTANCE: u16 = 10;
+
+impl DistanceMatrix {
+    /// Builds a matrix from row-major values.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n * n`, if any diagonal entry differs from
+    /// [`LOCAL_DISTANCE`], or if any off-diagonal entry is below it.
+    pub fn from_rows(n: usize, values: Vec<u16>) -> Self {
+        assert_eq!(values.len(), n * n, "distance matrix must be n×n");
+        for i in 0..n {
+            assert_eq!(
+                values[i * n + i],
+                LOCAL_DISTANCE,
+                "diagonal (local) distance must be {LOCAL_DISTANCE}"
+            );
+            for j in 0..n {
+                assert!(
+                    values[i * n + j] >= LOCAL_DISTANCE,
+                    "remote distance cannot be below local"
+                );
+            }
+        }
+        DistanceMatrix { n, d: values }
+    }
+
+    /// A uniform matrix where every remote pair has distance `remote`.
+    pub fn uniform(n: usize, remote: u16) -> Self {
+        let mut d = vec![remote; n * n];
+        for i in 0..n {
+            d[i * n + i] = LOCAL_DISTANCE;
+        }
+        Self::from_rows(n, d)
+    }
+
+    /// A two-level matrix for machines with `sockets` sockets of
+    /// `nodes_per_socket` nodes each: `same_socket` distance within a socket,
+    /// `cross_socket` between sockets.
+    pub fn two_level(
+        sockets: usize,
+        nodes_per_socket: usize,
+        same_socket: u16,
+        cross_socket: u16,
+    ) -> Self {
+        let n = sockets * nodes_per_socket;
+        let mut d = vec![0u16; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = if i == j {
+                    LOCAL_DISTANCE
+                } else if i / nodes_per_socket == j / nodes_per_socket {
+                    same_socket
+                } else {
+                    cross_socket
+                };
+            }
+        }
+        Self::from_rows(n, d)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty (zero nodes).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance from `from` to `to`.
+    #[inline]
+    pub fn get(&self, from: NodeId, to: NodeId) -> u16 {
+        self.d[from.index() * self.n + to.index()]
+    }
+
+    /// Latency multiplier relative to local access (`distance / 10`).
+    #[inline]
+    pub fn latency_factor(&self, from: NodeId, to: NodeId) -> f64 {
+        f64::from(self.get(from, to)) / f64::from(LOCAL_DISTANCE)
+    }
+
+    /// Nodes sorted by increasing distance from `from` (excluding `from`
+    /// itself), ties broken by node id. This is the order in which ILAN's
+    /// node-mask selection grows a mask around the fastest node.
+    pub fn neighbors_by_distance(&self, from: NodeId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.n)
+            .map(NodeId::new)
+            .filter(|&n| n != from)
+            .collect();
+        nodes.sort_by_key(|&n| (self.get(from, n), n.index()));
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix() {
+        let m = DistanceMatrix::uniform(4, 20);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(0)), 10);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(3)), 20);
+        assert!((m.latency_factor(NodeId::new(0), NodeId::new(3)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_level_matrix() {
+        let m = DistanceMatrix::two_level(2, 4, 12, 32);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(1)), 12);
+        assert_eq!(m.get(NodeId::new(0), NodeId::new(4)), 32);
+        assert_eq!(m.get(NodeId::new(5), NodeId::new(7)), 12);
+        assert_eq!(m.get(NodeId::new(7), NodeId::new(2)), 32);
+    }
+
+    #[test]
+    fn neighbors_prefer_same_socket() {
+        let m = DistanceMatrix::two_level(2, 2, 12, 32);
+        let order = m.neighbors_by_distance(NodeId::new(1));
+        assert_eq!(order, vec![NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn rejects_bad_diagonal() {
+        DistanceMatrix::from_rows(2, vec![10, 20, 20, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "remote distance")]
+    fn rejects_sub_local_remote() {
+        DistanceMatrix::from_rows(2, vec![10, 5, 20, 10]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers for topology objects.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic scheduler bug of
+//! indexing a per-core table with a node id (or vice versa). All ids are dense,
+//! zero-based indices into the owning [`Topology`](crate::Topology).
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $short:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a `usize` suitable for indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs an id from a dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(v: $name) -> usize {
+                v.index()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical core (equivalently, a pinned worker thread: ILAN pins threads
+    /// 1:1 to cores).
+    CoreId,
+    "core"
+);
+id_type!(
+    /// A NUMA node: a set of cores plus the memory controller local to them.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A socket (package). On the paper's EPYC 9354 platform each socket holds
+    /// four NUMA nodes (NPS4 configuration).
+    SocketId,
+    "socket"
+);
+id_type!(
+    /// A core-complex die: the group of cores sharing one last-level cache.
+    CcdId,
+    "ccd"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        for i in [0usize, 1, 7, 63, 1000] {
+            assert_eq!(CoreId::new(i).index(), i);
+            assert_eq!(NodeId::from(i).index(), i);
+            assert_eq!(usize::from(SocketId::new(i)), i);
+            assert_eq!(CcdId::from(i as u32).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+        assert_eq!(NodeId::new(5).to_string(), "node5");
+        assert_eq!(SocketId::new(1).to_string(), "socket1");
+        assert_eq!(CcdId::new(9).to_string(), "ccd9");
+        assert_eq!(format!("{:?}", NodeId::new(2)), "node2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CoreId::new(2) < CoreId::new(10));
+        assert!(NodeId::new(0) < NodeId::new(1));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CoreId::default(), CoreId::new(0));
+        assert_eq!(NodeId::default().index(), 0);
+    }
+}

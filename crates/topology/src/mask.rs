@@ -1,0 +1,415 @@
+//! Bit-set types used by scheduling policies.
+//!
+//! [`NodeMask`] is the paper's `node_mask` taskloop parameter: one bit per NUMA
+//! node, set bits marking the nodes eligible to execute the taskloop — analogous
+//! to a CPU affinity mask at node granularity. [`CpuSet`] is the corresponding
+//! per-core mask used for thread pinning.
+
+use crate::ids::{CoreId, NodeId};
+use core::fmt;
+
+/// A set of NUMA nodes, one bit per node (up to 64 nodes).
+///
+/// This is the `node_mask` of an ILAN taskloop configuration: bit *i* set means
+/// NUMA node *i* may execute tasks of the loop. Sixty-four nodes is ample for
+/// current hardware (the paper's machine has eight).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeMask(u64);
+
+impl NodeMask {
+    /// The empty mask (no nodes eligible). An empty mask is never a valid
+    /// execution target; policies must always produce at least one node.
+    pub const EMPTY: NodeMask = NodeMask(0);
+
+    /// Maximum number of nodes representable.
+    pub const CAPACITY: usize = 64;
+
+    /// Creates a mask containing the first `n` nodes (`node0..node(n-1)`).
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "NodeMask supports at most 64 nodes");
+        if n == 64 {
+            NodeMask(u64::MAX)
+        } else {
+            NodeMask((1u64 << n) - 1)
+        }
+    }
+
+    /// Creates a mask with exactly one node set.
+    #[inline]
+    pub fn single(node: NodeId) -> Self {
+        NodeMask(0).with(node)
+    }
+
+    /// Creates a mask from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        NodeMask(bits)
+    }
+
+    /// Returns the raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self` with `node` added.
+    #[inline]
+    #[must_use]
+    pub fn with(self, node: NodeId) -> Self {
+        assert!(node.index() < Self::CAPACITY, "node id out of range");
+        NodeMask(self.0 | (1u64 << node.index()))
+    }
+
+    /// Returns `self` with `node` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(self, node: NodeId) -> Self {
+        assert!(node.index() < Self::CAPACITY, "node id out of range");
+        NodeMask(self.0 & !(1u64 << node.index()))
+    }
+
+    /// Adds `node` in place.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        *self = self.with(node);
+    }
+
+    /// Removes `node` in place.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        *self = self.without(node);
+    }
+
+    /// Whether `node` is in the mask.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        node.index() < Self::CAPACITY && self.0 & (1u64 << node.index()) != 0
+    }
+
+    /// Number of nodes in the mask.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the mask is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The lowest-numbered node in the mask, if any.
+    #[inline]
+    pub fn first(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: NodeMask) -> NodeMask {
+        NodeMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: NodeMask) -> NodeMask {
+        NodeMask(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: NodeMask) -> NodeMask {
+        NodeMask(self.0 & !other.0)
+    }
+
+    /// Whether every node of `self` is also in `other`.
+    #[inline]
+    pub fn is_subset(self, other: NodeMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the nodes in the mask in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(NodeId::new(idx))
+            }
+        })
+    }
+
+    /// The position of `node` within the mask's ascending enumeration
+    /// (e.g. in mask `{1,3,6}`, node 3 has rank 1). Returns `None` if absent.
+    ///
+    /// Hierarchical task distribution uses ranks to map "the *k*-th active node"
+    /// onto a physical node id.
+    #[inline]
+    pub fn rank_of(self, node: NodeId) -> Option<usize> {
+        if !self.contains(node) {
+            return None;
+        }
+        let below = self.0 & ((1u64 << node.index()) - 1);
+        Some(below.count_ones() as usize)
+    }
+
+    /// The node with rank `rank` in ascending enumeration (inverse of
+    /// [`rank_of`](Self::rank_of)). Returns `None` if `rank >= count()`.
+    pub fn nth(self, rank: usize) -> Option<NodeId> {
+        self.iter().nth(rank)
+    }
+}
+
+impl FromIterator<NodeId> for NodeMask {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut m = NodeMask::EMPTY;
+        for n in iter {
+            m.insert(n);
+        }
+        m
+    }
+}
+
+impl fmt::Debug for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeMask{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", n.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A set of cores, arbitrarily sized (backed by a bit vector).
+///
+/// Used to express pinning sets and the exact cores activated by a taskloop
+/// configuration.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CpuSet {
+    words: Vec<u64>,
+}
+
+impl CpuSet {
+    /// Creates an empty cpuset.
+    pub fn new() -> Self {
+        CpuSet { words: Vec::new() }
+    }
+
+    /// Creates a cpuset containing cores `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        let mut s = CpuSet::new();
+        for i in 0..n {
+            s.insert(CoreId::new(i));
+        }
+        s
+    }
+
+    /// Adds a core.
+    pub fn insert(&mut self, core: CoreId) {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, core: CoreId) {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Whether the set contains `core`.
+    pub fn contains(&self, core: CoreId) -> bool {
+        let (w, b) = (core.index() / 64, core.index() % 64);
+        w < self.words.len() && self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over member cores in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(CoreId::new(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &CpuSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+}
+
+impl FromIterator<CoreId> for CpuSet {
+    fn from_iter<T: IntoIterator<Item = CoreId>>(iter: T) -> Self {
+        let mut s = CpuSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_counts() {
+        assert_eq!(NodeMask::first_n(0), NodeMask::EMPTY);
+        assert_eq!(NodeMask::first_n(8).count(), 8);
+        assert_eq!(NodeMask::first_n(64).count(), 64);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = NodeMask::EMPTY;
+        m.insert(NodeId::new(3));
+        m.insert(NodeId::new(7));
+        assert!(m.contains(NodeId::new(3)));
+        assert!(m.contains(NodeId::new(7)));
+        assert!(!m.contains(NodeId::new(4)));
+        m.remove(NodeId::new(3));
+        assert!(!m.contains(NodeId::new(3)));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m: NodeMask = [5usize, 1, 3].iter().map(|&i| NodeId::new(i)).collect();
+        let got: Vec<usize> = m.iter().map(|n| n.index()).collect();
+        assert_eq!(got, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeMask::first_n(4); // {0,1,2,3}
+        let b = NodeMask::from_bits(0b1100); // {2,3}
+        assert_eq!(a.intersection(b), b);
+        assert_eq!(a.union(b), a);
+        assert_eq!(a.difference(b), NodeMask::from_bits(0b0011));
+        assert!(b.is_subset(a));
+        assert!(!a.is_subset(b));
+    }
+
+    #[test]
+    fn rank_and_nth_are_inverse() {
+        let m = NodeMask::from_bits(0b0100_1010); // {1,3,6}
+        assert_eq!(m.rank_of(NodeId::new(1)), Some(0));
+        assert_eq!(m.rank_of(NodeId::new(3)), Some(1));
+        assert_eq!(m.rank_of(NodeId::new(6)), Some(2));
+        assert_eq!(m.rank_of(NodeId::new(0)), None);
+        assert_eq!(m.nth(0), Some(NodeId::new(1)));
+        assert_eq!(m.nth(2), Some(NodeId::new(6)));
+        assert_eq!(m.nth(3), None);
+    }
+
+    #[test]
+    fn first_returns_lowest() {
+        assert_eq!(NodeMask::EMPTY.first(), None);
+        assert_eq!(NodeMask::from_bits(0b101000).first(), Some(NodeId::new(3)));
+    }
+
+    #[test]
+    fn debug_format() {
+        let m = NodeMask::from_bits(0b101);
+        assert_eq!(format!("{m:?}"), "NodeMask{0,2}");
+    }
+
+    #[test]
+    fn cpuset_basics() {
+        let mut s = CpuSet::new();
+        assert!(s.is_empty());
+        s.insert(CoreId::new(0));
+        s.insert(CoreId::new(63));
+        s.insert(CoreId::new(64));
+        s.insert(CoreId::new(130));
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(CoreId::new(64)));
+        assert!(!s.contains(CoreId::new(65)));
+        s.remove(CoreId::new(64));
+        assert_eq!(s.count(), 3);
+        let ids: Vec<usize> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(ids, vec![0, 63, 130]);
+    }
+
+    #[test]
+    fn cpuset_union() {
+        let mut a = CpuSet::first_n(3);
+        let b: CpuSet = [CoreId::new(100)].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.count(), 4);
+        assert!(a.contains(CoreId::new(100)));
+    }
+
+    #[test]
+    fn cpuset_remove_out_of_range_is_noop() {
+        let mut s = CpuSet::first_n(2);
+        s.remove(CoreId::new(500));
+        assert_eq!(s.count(), 2);
+    }
+}

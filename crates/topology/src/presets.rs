@@ -1,0 +1,141 @@
+//! Preset topologies of real machines.
+//!
+//! [`epyc_9354_2s`] is the evaluation platform of the ILAN paper (a Vera/NAISS
+//! compute node). The others exist for portability studies and tests: the paper
+//! notes that the thread-count granularity `g` and the benefit of node-level
+//! scheduling depend on the platform topology, so the reproduction harness can
+//! be pointed at any of these.
+
+use crate::topo::{CacheSpec, Topology};
+
+/// The paper's platform: AMD EPYC 9354 ("Zen 4") node with 64 cores in total,
+/// 8 NUMA nodes of 8 cores, 4 NUMA nodes per socket (NPS4), 4-core CCDs
+/// sharing a 32 MiB L3.
+///
+/// SLIT distances follow AMD's published values: 10 local, 12 within a socket,
+/// 32 across sockets.
+pub fn epyc_9354_2s() -> Topology {
+    Topology::builder()
+        .sockets(2)
+        .nodes_per_socket(4)
+        .cores_per_node(8)
+        .cores_per_ccd(4)
+        .cache(CacheSpec {
+            l1d: 32 << 10,
+            l2: 1 << 20,
+            l3: 32 << 20,
+        })
+        .same_socket_distance(12)
+        .cross_socket_distance(32)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A single-socket EPYC 7742 ("Zen 2", Rome) in NPS4: 64 cores, 4 NUMA nodes
+/// of 16 cores, 4-core CCXs sharing a 16 MiB L3.
+pub fn epyc_7742_1s_nps4() -> Topology {
+    Topology::builder()
+        .sockets(1)
+        .nodes_per_socket(4)
+        .cores_per_node(16)
+        .cores_per_ccd(4)
+        .cache(CacheSpec {
+            l1d: 32 << 10,
+            l2: 512 << 10,
+            l3: 16 << 20,
+        })
+        .same_socket_distance(12)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A dual-socket Intel Xeon Platinum 8280 ("Cascade Lake"): 2 × 28 cores, one
+/// NUMA node per socket, monolithic 38.5 MiB L3 per socket.
+pub fn xeon_8280_2s() -> Topology {
+    Topology::builder()
+        .sockets(2)
+        .nodes_per_socket(1)
+        .cores_per_node(28)
+        .cores_per_ccd(28)
+        .cache(CacheSpec {
+            l1d: 32 << 10,
+            l2: 1 << 20,
+            l3: 38 << 20,
+        })
+        .cross_socket_distance(21)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A flat SMP machine: `cores` cores, one NUMA node, one shared L3. The
+/// degenerate case in which hierarchical scheduling reduces to plain
+/// work-stealing — useful as a control in experiments and as the detection
+/// fallback on machines without NUMA.
+pub fn smp(cores: usize) -> Topology {
+    Topology::builder()
+        .cores_per_node(cores.max(1))
+        .build()
+        .expect("preset is valid")
+}
+
+/// A small two-node machine (2 × 4 cores) for fast unit tests.
+pub fn tiny_2x4() -> Topology {
+    Topology::builder()
+        .sockets(2)
+        .nodes_per_socket(1)
+        .cores_per_node(4)
+        .cores_per_ccd(4)
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn paper_platform_shape() {
+        let t = epyc_9354_2s();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.nodes_per_socket(), 4);
+        assert_eq!(t.cores_per_node(), 8);
+        assert_eq!(t.cores_per_ccd(), 4);
+        assert_eq!(t.cache().l3, 32 << 20);
+        assert_eq!(t.distances().get(NodeId::new(0), NodeId::new(1)), 12);
+        assert_eq!(t.distances().get(NodeId::new(0), NodeId::new(7)), 32);
+    }
+
+    #[test]
+    fn rome_shape() {
+        let t = epyc_7742_1s_nps4();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_ccds(), 16);
+    }
+
+    #[test]
+    fn xeon_shape() {
+        let t = xeon_8280_2s();
+        assert_eq!(t.num_cores(), 56);
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.distances().get(NodeId::new(0), NodeId::new(1)), 21);
+    }
+
+    #[test]
+    fn smp_shape() {
+        let t = smp(16);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_cores(), 16);
+        // smp(0) still builds a 1-core machine.
+        assert_eq!(smp(0).num_cores(), 1);
+    }
+
+    #[test]
+    fn tiny_shape() {
+        let t = tiny_2x4();
+        assert_eq!(t.num_cores(), 8);
+        assert_eq!(t.num_nodes(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! `lstopo`-style ASCII rendering of a topology.
+//!
+//! The original ILAN depends on hwloc, whose `lstopo` tree is the standard
+//! way to eyeball a machine. [`render_tree`] produces the equivalent for our
+//! topology model — used by examples and handy in test failure output.
+
+use crate::ids::NodeId;
+use crate::topo::Topology;
+use std::fmt::Write as _;
+
+/// Renders the machine as an indented tree:
+///
+/// ```text
+/// Machine (64 cores)
+/// ├─ Socket 0
+/// │  ├─ NUMANode 0 (8 cores)
+/// │  │  ├─ L3 #0 (32 MiB): cores 0-3
+/// │  │  └─ L3 #1 (32 MiB): cores 4-7
+/// ...
+/// ```
+pub fn render_tree(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Machine ({} cores)", topo.num_cores());
+    let ccds_per_node = topo.cores_per_node() / topo.cores_per_ccd();
+    for socket in 0..topo.num_sockets() {
+        let socket_last = socket + 1 == topo.num_sockets();
+        let s_branch = if socket_last { "└─" } else { "├─" };
+        let s_stem = if socket_last { "   " } else { "│  " };
+        let _ = writeln!(out, "{s_branch} Socket {socket}");
+        for local in 0..topo.nodes_per_socket() {
+            let node = NodeId::new(socket * topo.nodes_per_socket() + local);
+            let node_last = local + 1 == topo.nodes_per_socket();
+            let n_branch = if node_last { "└─" } else { "├─" };
+            let n_stem = if node_last { "   " } else { "│  " };
+            let _ = writeln!(
+                out,
+                "{s_stem}{n_branch} NUMANode {} ({} cores)",
+                node.index(),
+                topo.cores_per_node()
+            );
+            for ccd in 0..ccds_per_node {
+                let ccd_last = ccd + 1 == ccds_per_node;
+                let c_branch = if ccd_last { "└─" } else { "├─" };
+                let first = node.index() * topo.cores_per_node() + ccd * topo.cores_per_ccd();
+                let last = first + topo.cores_per_ccd() - 1;
+                let ccd_id = first / topo.cores_per_ccd();
+                let _ = writeln!(
+                    out,
+                    "{s_stem}{n_stem}{c_branch} L3 #{ccd_id} ({} MiB): cores {first}-{last}",
+                    topo.cache().l3 >> 20
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn renders_paper_machine() {
+        let s = render_tree(&presets::epyc_9354_2s());
+        assert!(s.starts_with("Machine (64 cores)"));
+        assert_eq!(s.matches("Socket").count(), 2);
+        assert_eq!(s.matches("NUMANode").count(), 8);
+        assert_eq!(s.matches("L3 #").count(), 16);
+        assert!(s.contains("cores 60-63"));
+    }
+
+    #[test]
+    fn renders_flat_smp() {
+        let s = render_tree(&presets::smp(4));
+        assert!(s.contains("Machine (4 cores)"));
+        assert_eq!(s.matches("NUMANode").count(), 1);
+        assert!(s.contains("cores 0-3"));
+    }
+
+    #[test]
+    fn tree_glyphs_close_properly() {
+        let s = render_tree(&presets::tiny_2x4());
+        // The last socket and last node use the corner glyph.
+        assert!(s.contains("└─ Socket 1"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.last().unwrap().contains("└─ L3"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Compact textual topology specifications.
+//!
+//! The reproduction harness and examples accept machine descriptions on the
+//! command line in the form
+//!
+//! ```text
+//! SOCKETS x NODES_PER_SOCKET x CORES_PER_NODE [:ccd=K] [:same=D] [:cross=D]
+//! ```
+//!
+//! e.g. `2x4x8:ccd=4` is the paper's EPYC 9354 and `1x4x16:ccd=4:same=12`
+//! a Rome in NPS4. Whitespace is ignored; options may appear in any order.
+
+use crate::topo::{Topology, TopologyError};
+
+/// Parses a topology spec string (see module docs).
+///
+/// # Errors
+/// Returns a human-readable message for malformed syntax, and forwards
+/// [`TopologyError`] conditions (indivisible CCDs, too many nodes, …) from
+/// the builder as formatted text.
+pub fn parse_spec(spec: &str) -> Result<Topology, String> {
+    let cleaned: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+    let mut parts = cleaned.split(':');
+    let dims = parts.next().ok_or("empty topology spec")?;
+
+    let mut dim_it = dims.split('x');
+    let mut next_dim = |what: &str| -> Result<usize, String> {
+        dim_it
+            .next()
+            .ok_or(format!("missing {what} in `{dims}` (want SxNxC)"))?
+            .parse::<usize>()
+            .map_err(|_| format!("bad {what} in `{dims}`"))
+    };
+    let sockets = next_dim("socket count")?;
+    let nodes = next_dim("nodes per socket")?;
+    let cores = next_dim("cores per node")?;
+    if dim_it.next().is_some() {
+        return Err(format!("too many dimensions in `{dims}` (want SxNxC)"));
+    }
+
+    let mut builder = Topology::builder()
+        .sockets(sockets)
+        .nodes_per_socket(nodes)
+        .cores_per_node(cores);
+
+    for opt in parts {
+        let (key, value) = opt
+            .split_once('=')
+            .ok_or(format!("option `{opt}` must be key=value"))?;
+        let parse = |what: &str| -> Result<usize, String> {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("bad {what} value `{value}`"))
+        };
+        builder = match key {
+            "ccd" => builder.cores_per_ccd(parse("ccd")?),
+            "same" => builder.same_socket_distance(parse("same")? as u16),
+            "cross" => builder.cross_socket_distance(parse("cross")? as u16),
+            other => return Err(format!("unknown topology option `{other}`")),
+        };
+    }
+
+    builder.build().map_err(|e: TopologyError| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn parses_paper_machine() {
+        let t = parse_spec("2x4x8:ccd=4").unwrap();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.cores_per_ccd(), 4);
+    }
+
+    #[test]
+    fn parses_with_distances_any_order() {
+        let t = parse_spec("2x1x4:cross=40:same=15").unwrap();
+        assert_eq!(t.distances().get(NodeId::new(0), NodeId::new(1)), 40);
+        let t2 = parse_spec(" 1 x 2 x 4 : same = 15 ").unwrap();
+        assert_eq!(t2.distances().get(NodeId::new(0), NodeId::new(1)), 15);
+    }
+
+    #[test]
+    fn defaults_ccd_to_node() {
+        let t = parse_spec("1x1x6").unwrap();
+        assert_eq!(t.cores_per_ccd(), 6);
+        assert_eq!(t.num_ccds(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("2x4").is_err());
+        assert!(parse_spec("2x4x8x2").is_err());
+        assert!(parse_spec("axbxc").is_err());
+        assert!(parse_spec("2x4x8:ccd").is_err());
+        assert!(parse_spec("2x4x8:bogus=3").is_err());
+        assert!(parse_spec("2x4x8:ccd=x").is_err());
+    }
+
+    #[test]
+    fn forwards_builder_errors() {
+        // 6 cores per node with 4-core CCDs is indivisible.
+        let err = parse_spec("1x1x6:ccd=4").unwrap_err();
+        assert!(err.contains("indivisible"), "{err}");
+        // 0 sockets.
+        assert!(parse_spec("0x4x8").is_err());
+    }
+}

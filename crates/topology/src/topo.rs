@@ -1,0 +1,546 @@
+//! The [`Topology`] type: an immutable description of one machine.
+
+use crate::distance::DistanceMatrix;
+use crate::ids::{CcdId, CoreId, NodeId, SocketId};
+use crate::mask::{CpuSet, NodeMask};
+use core::fmt;
+
+/// Cache sizes in bytes. L1/L2 are per core, L3 is shared per CCD.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Per-core L1 data cache size in bytes.
+    pub l1d: usize,
+    /// Per-core private L2 size in bytes.
+    pub l2: usize,
+    /// Shared L3 size in bytes (per CCD).
+    pub l3: usize,
+}
+
+impl Default for CacheSpec {
+    fn default() -> Self {
+        // Zen 4 values: 32 KiB L1D, 1 MiB L2, 32 MiB L3 per CCD.
+        CacheSpec {
+            l1d: 32 << 10,
+            l2: 1 << 20,
+            l3: 32 << 20,
+        }
+    }
+}
+
+/// Errors produced when building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The builder was asked for zero sockets, nodes, CCDs or cores.
+    Empty(&'static str),
+    /// A structural count did not divide evenly (e.g. cores per node not a
+    /// multiple of cores per CCD).
+    Indivisible {
+        /// Description of the failing constraint.
+        what: &'static str,
+    },
+    /// The distance matrix size does not match the node count.
+    DistanceMismatch {
+        /// Number of NUMA nodes in the topology.
+        nodes: usize,
+        /// Size of the supplied distance matrix.
+        matrix: usize,
+    },
+    /// More than [`NodeMask::CAPACITY`] NUMA nodes were requested.
+    TooManyNodes(usize),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty(what) => write!(f, "topology must have at least one {what}"),
+            TopologyError::Indivisible { what } => write!(f, "indivisible topology: {what}"),
+            TopologyError::DistanceMismatch { nodes, matrix } => write!(
+                f,
+                "distance matrix is {matrix}×{matrix} but topology has {nodes} nodes"
+            ),
+            TopologyError::TooManyNodes(n) => {
+                write!(f, "{n} NUMA nodes exceeds the supported maximum of 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable machine description: sockets → NUMA nodes → CCDs → cores.
+///
+/// All id spaces are dense and nested in order: cores `0..cores_per_node` belong
+/// to node 0, and so on. This matches how Linux enumerates cores on the EPYC
+/// platforms the paper targets (with NPS4 and `OMP_PLACES=cores`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    num_sockets: usize,
+    nodes_per_socket: usize,
+    cores_per_node: usize,
+    cores_per_ccd: usize,
+    cache: CacheSpec,
+    distances: DistanceMatrix,
+}
+
+impl Topology {
+    /// Starts building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Total number of cores.
+    #[inline]
+    pub fn num_cores(&self) -> usize {
+        self.num_sockets * self.nodes_per_socket * self.cores_per_node
+    }
+
+    /// Total number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_sockets * self.nodes_per_socket
+    }
+
+    /// Number of sockets.
+    #[inline]
+    pub fn num_sockets(&self) -> usize {
+        self.num_sockets
+    }
+
+    /// Number of CCDs (last-level-cache groups).
+    #[inline]
+    pub fn num_ccds(&self) -> usize {
+        self.num_cores() / self.cores_per_ccd
+    }
+
+    /// Cores per NUMA node. This is the paper's default thread-count
+    /// granularity `g`.
+    #[inline]
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// NUMA nodes per socket.
+    #[inline]
+    pub fn nodes_per_socket(&self) -> usize {
+        self.nodes_per_socket
+    }
+
+    /// Cores sharing one L3 (CCD size).
+    #[inline]
+    pub fn cores_per_ccd(&self) -> usize {
+        self.cores_per_ccd
+    }
+
+    /// Cache size specification.
+    #[inline]
+    pub fn cache(&self) -> CacheSpec {
+        self.cache
+    }
+
+    /// The inter-node distance matrix.
+    #[inline]
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// The NUMA node owning `core`.
+    #[inline]
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        debug_assert!(core.index() < self.num_cores());
+        NodeId::new(core.index() / self.cores_per_node)
+    }
+
+    /// The socket owning `node`.
+    #[inline]
+    pub fn socket_of_node(&self, node: NodeId) -> SocketId {
+        debug_assert!(node.index() < self.num_nodes());
+        SocketId::new(node.index() / self.nodes_per_socket)
+    }
+
+    /// The socket owning `core`.
+    #[inline]
+    pub fn socket_of_core(&self, core: CoreId) -> SocketId {
+        self.socket_of_node(self.node_of_core(core))
+    }
+
+    /// The CCD (L3 group) owning `core`.
+    #[inline]
+    pub fn ccd_of_core(&self, core: CoreId) -> CcdId {
+        debug_assert!(core.index() < self.num_cores());
+        CcdId::new(core.index() / self.cores_per_ccd)
+    }
+
+    /// Whether two nodes share a socket.
+    #[inline]
+    pub fn same_socket(&self, a: NodeId, b: NodeId) -> bool {
+        self.socket_of_node(a) == self.socket_of_node(b)
+    }
+
+    /// The cores of `node`, in ascending id order.
+    pub fn cores_of_node(&self, node: NodeId) -> impl Iterator<Item = CoreId> + '_ {
+        let start = node.index() * self.cores_per_node;
+        (start..start + self.cores_per_node).map(CoreId::new)
+    }
+
+    /// The first (lowest-id) core of `node`; its worker acts as the node's
+    /// *primary thread* in hierarchical distribution.
+    #[inline]
+    pub fn primary_core(&self, node: NodeId) -> CoreId {
+        CoreId::new(node.index() * self.cores_per_node)
+    }
+
+    /// All nodes as a mask.
+    #[inline]
+    pub fn all_nodes(&self) -> NodeMask {
+        NodeMask::first_n(self.num_nodes())
+    }
+
+    /// All cores belonging to the nodes in `mask`.
+    pub fn cpuset_of_mask(&self, mask: NodeMask) -> CpuSet {
+        mask.iter().flat_map(|n| self.cores_of_node(n)).collect()
+    }
+
+    /// Grows a mask of `want_nodes` nodes around `seed`, preferring
+    /// topologically-near nodes (same socket before cross-socket, then by
+    /// distance). This is the ILAN node-mask fill rule (§3.2 of the paper).
+    ///
+    /// `want_nodes` is clamped to the machine size.
+    pub fn grow_mask(&self, seed: NodeId, want_nodes: usize) -> NodeMask {
+        let want = want_nodes.clamp(1, self.num_nodes());
+        let mut mask = NodeMask::single(seed);
+        for n in self.distances.neighbors_by_distance(seed) {
+            if mask.count() >= want {
+                break;
+            }
+            mask.insert(n);
+        }
+        mask
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cores: {} socket(s) × {} node(s)/socket × {} core(s)/node, {} cores/CCD, L3 {} MiB",
+            self.num_cores(),
+            self.num_sockets,
+            self.nodes_per_socket,
+            self.cores_per_node,
+            self.cores_per_ccd,
+            self.cache.l3 >> 20,
+        )
+    }
+}
+
+/// Builder for [`Topology`].
+///
+/// ```
+/// use ilan_topology::Topology;
+/// let topo = Topology::builder()
+///     .sockets(2)
+///     .nodes_per_socket(4)
+///     .cores_per_node(8)
+///     .cores_per_ccd(4)
+///     .build()
+///     .unwrap();
+/// assert_eq!(topo.num_cores(), 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    sockets: usize,
+    nodes_per_socket: usize,
+    cores_per_node: usize,
+    cores_per_ccd: Option<usize>,
+    cache: CacheSpec,
+    distances: Option<DistanceMatrix>,
+    same_socket_distance: u16,
+    cross_socket_distance: u16,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            sockets: 1,
+            nodes_per_socket: 1,
+            cores_per_node: 1,
+            cores_per_ccd: None,
+            cache: CacheSpec::default(),
+            distances: None,
+            same_socket_distance: 12,
+            cross_socket_distance: 32,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Number of sockets (default 1).
+    pub fn sockets(mut self, n: usize) -> Self {
+        self.sockets = n;
+        self
+    }
+
+    /// NUMA nodes per socket (default 1).
+    pub fn nodes_per_socket(mut self, n: usize) -> Self {
+        self.nodes_per_socket = n;
+        self
+    }
+
+    /// Cores per NUMA node (default 1).
+    pub fn cores_per_node(mut self, n: usize) -> Self {
+        self.cores_per_node = n;
+        self
+    }
+
+    /// Cores sharing one L3. Defaults to the whole node.
+    pub fn cores_per_ccd(mut self, n: usize) -> Self {
+        self.cores_per_ccd = Some(n);
+        self
+    }
+
+    /// Cache sizes (defaults to Zen 4 values).
+    pub fn cache(mut self, cache: CacheSpec) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Explicit distance matrix; overrides the two-level default.
+    pub fn distances(mut self, d: DistanceMatrix) -> Self {
+        self.distances = Some(d);
+        self
+    }
+
+    /// SLIT distance between nodes sharing a socket (default 12).
+    pub fn same_socket_distance(mut self, d: u16) -> Self {
+        self.same_socket_distance = d;
+        self
+    }
+
+    /// SLIT distance between nodes on different sockets (default 32).
+    pub fn cross_socket_distance(mut self, d: u16) -> Self {
+        self.cross_socket_distance = d;
+        self
+    }
+
+    /// Validates and builds the topology.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.sockets == 0 {
+            return Err(TopologyError::Empty("socket"));
+        }
+        if self.nodes_per_socket == 0 {
+            return Err(TopologyError::Empty("NUMA node"));
+        }
+        if self.cores_per_node == 0 {
+            return Err(TopologyError::Empty("core"));
+        }
+        let nodes = self.sockets * self.nodes_per_socket;
+        if nodes > NodeMask::CAPACITY {
+            return Err(TopologyError::TooManyNodes(nodes));
+        }
+        let cores_per_ccd = self.cores_per_ccd.unwrap_or(self.cores_per_node);
+        if cores_per_ccd == 0 {
+            return Err(TopologyError::Empty("core per CCD"));
+        }
+        if !self.cores_per_node.is_multiple_of(cores_per_ccd) {
+            return Err(TopologyError::Indivisible {
+                what: "cores per node must be a multiple of cores per CCD",
+            });
+        }
+        let distances = match self.distances {
+            Some(d) => {
+                if d.len() != nodes {
+                    return Err(TopologyError::DistanceMismatch {
+                        nodes,
+                        matrix: d.len(),
+                    });
+                }
+                d
+            }
+            None => {
+                if nodes == 1 {
+                    DistanceMatrix::uniform(1, crate::distance::LOCAL_DISTANCE)
+                } else {
+                    DistanceMatrix::two_level(
+                        self.sockets,
+                        self.nodes_per_socket,
+                        self.same_socket_distance,
+                        self.cross_socket_distance,
+                    )
+                }
+            }
+        };
+        Ok(Topology {
+            num_sockets: self.sockets,
+            nodes_per_socket: self.nodes_per_socket,
+            cores_per_node: self.cores_per_node,
+            cores_per_ccd,
+            cache: self.cache,
+            distances,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zen4() -> Topology {
+        Topology::builder()
+            .sockets(2)
+            .nodes_per_socket(4)
+            .cores_per_node(8)
+            .cores_per_ccd(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let t = zen4();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.num_ccds(), 16);
+        assert_eq!(t.cores_per_node(), 8);
+    }
+
+    #[test]
+    fn core_to_node_mapping() {
+        let t = zen4();
+        assert_eq!(t.node_of_core(CoreId::new(0)), NodeId::new(0));
+        assert_eq!(t.node_of_core(CoreId::new(7)), NodeId::new(0));
+        assert_eq!(t.node_of_core(CoreId::new(8)), NodeId::new(1));
+        assert_eq!(t.node_of_core(CoreId::new(63)), NodeId::new(7));
+    }
+
+    #[test]
+    fn node_to_socket_mapping() {
+        let t = zen4();
+        assert_eq!(t.socket_of_node(NodeId::new(0)), SocketId::new(0));
+        assert_eq!(t.socket_of_node(NodeId::new(3)), SocketId::new(0));
+        assert_eq!(t.socket_of_node(NodeId::new(4)), SocketId::new(1));
+        assert!(t.same_socket(NodeId::new(1), NodeId::new(2)));
+        assert!(!t.same_socket(NodeId::new(3), NodeId::new(4)));
+    }
+
+    #[test]
+    fn ccd_mapping() {
+        let t = zen4();
+        assert_eq!(t.ccd_of_core(CoreId::new(0)), CcdId::new(0));
+        assert_eq!(t.ccd_of_core(CoreId::new(3)), CcdId::new(0));
+        assert_eq!(t.ccd_of_core(CoreId::new(4)), CcdId::new(1));
+        assert_eq!(t.ccd_of_core(CoreId::new(63)), CcdId::new(15));
+    }
+
+    #[test]
+    fn primary_cores() {
+        let t = zen4();
+        assert_eq!(t.primary_core(NodeId::new(0)), CoreId::new(0));
+        assert_eq!(t.primary_core(NodeId::new(5)), CoreId::new(40));
+    }
+
+    #[test]
+    fn cores_of_node_iterates_in_order() {
+        let t = zen4();
+        let cores: Vec<usize> = t.cores_of_node(NodeId::new(2)).map(|c| c.index()).collect();
+        assert_eq!(cores, (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grow_mask_prefers_same_socket() {
+        let t = zen4();
+        // Seeded at node 5 (socket 1), 3 nodes: stays on socket 1.
+        let m = t.grow_mask(NodeId::new(5), 3);
+        assert_eq!(m.count(), 3);
+        for n in m.iter() {
+            assert_eq!(t.socket_of_node(n), SocketId::new(1));
+        }
+        assert!(m.contains(NodeId::new(5)));
+    }
+
+    #[test]
+    fn grow_mask_spills_to_other_socket() {
+        let t = zen4();
+        let m = t.grow_mask(NodeId::new(0), 6);
+        assert_eq!(m.count(), 6);
+        // Must include the full first socket plus two remote nodes.
+        for n in 0..4 {
+            assert!(m.contains(NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn grow_mask_clamps() {
+        let t = zen4();
+        assert_eq!(t.grow_mask(NodeId::new(0), 0).count(), 1);
+        assert_eq!(t.grow_mask(NodeId::new(0), 100), t.all_nodes());
+    }
+
+    #[test]
+    fn cpuset_of_mask_covers_selected_nodes() {
+        let t = zen4();
+        let mask = NodeMask::single(NodeId::new(1)).with(NodeId::new(3));
+        let set = t.cpuset_of_mask(mask);
+        assert_eq!(set.count(), 16);
+        assert!(set.contains(CoreId::new(8)));
+        assert!(set.contains(CoreId::new(24)));
+        assert!(!set.contains(CoreId::new(0)));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(matches!(
+            Topology::builder().sockets(0).build(),
+            Err(TopologyError::Empty("socket"))
+        ));
+        assert!(matches!(
+            Topology::builder()
+                .cores_per_node(6)
+                .cores_per_ccd(4)
+                .build(),
+            Err(TopologyError::Indivisible { .. })
+        ));
+        assert!(matches!(
+            Topology::builder().sockets(65).build(),
+            Err(TopologyError::TooManyNodes(65))
+        ));
+        let wrong = DistanceMatrix::uniform(3, 20);
+        assert!(matches!(
+            Topology::builder()
+                .sockets(2)
+                .nodes_per_socket(1)
+                .distances(wrong)
+                .build(),
+            Err(TopologyError::DistanceMismatch {
+                nodes: 2,
+                matrix: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn single_node_topology() {
+        let t = Topology::builder().cores_per_node(4).build().unwrap();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_cores(), 4);
+        assert_eq!(t.all_nodes().count(), 1);
+        assert_eq!(t.grow_mask(NodeId::new(0), 5).count(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_shape() {
+        let s = zen4().summary();
+        assert!(s.contains("64 cores"));
+        assert!(s.contains("2 socket"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TopologyError::DistanceMismatch {
+            nodes: 4,
+            matrix: 2,
+        };
+        assert!(e.to_string().contains("4 nodes"));
+        assert!(TopologyError::Empty("socket")
+            .to_string()
+            .contains("socket"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the topology substrate.
+
+use ilan_topology::{presets, CoreId, CpuSet, DistanceMatrix, NodeId, NodeMask, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Insert/remove roundtrips leave a mask unchanged.
+    #[test]
+    fn mask_insert_remove_roundtrip(bits in 0u64.., node in 0usize..64) {
+        let node = NodeId::new(node);
+        let m = NodeMask::from_bits(bits);
+        let with = m.with(node);
+        prop_assert!(with.contains(node));
+        prop_assert_eq!(with.without(node).contains(node), false);
+        if !m.contains(node) {
+            prop_assert_eq!(with.without(node), m);
+            prop_assert_eq!(with.count(), m.count() + 1);
+        } else {
+            prop_assert_eq!(with, m);
+        }
+    }
+
+    /// Iteration visits exactly the set bits, in ascending order.
+    #[test]
+    fn mask_iteration_matches_bits(bits in 0u64..) {
+        let m = NodeMask::from_bits(bits);
+        let collected: Vec<NodeId> = m.iter().collect();
+        prop_assert_eq!(collected.len(), m.count());
+        prop_assert!(collected.windows(2).all(|w| w[0] < w[1]));
+        for n in &collected {
+            prop_assert!(bits & (1 << n.index()) != 0);
+        }
+        let rebuilt: NodeMask = collected.into_iter().collect();
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    /// CpuSet behaves like a set for arbitrary operations.
+    #[test]
+    fn cpuset_set_semantics(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..100)) {
+        let mut set = CpuSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (core, insert) in ops {
+            if insert {
+                set.insert(CoreId::new(core));
+                model.insert(core);
+            } else {
+                set.remove(CoreId::new(core));
+                model.remove(&core);
+            }
+        }
+        prop_assert_eq!(set.count(), model.len());
+        let got: Vec<usize> = set.iter().map(|c| c.index()).collect();
+        let want: Vec<usize> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Two-level distance matrices are symmetric and respect the socket
+    /// structure.
+    #[test]
+    fn two_level_distances_symmetric(
+        sockets in 1usize..5,
+        nodes_per in 1usize..5,
+        same in 10u16..30,
+        cross in 30u16..80,
+    ) {
+        let m = DistanceMatrix::two_level(sockets, nodes_per, same, cross);
+        let n = sockets * nodes_per;
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                prop_assert_eq!(m.get(a, b), m.get(b, a));
+                if i == j {
+                    prop_assert_eq!(m.get(a, b), 10);
+                } else if i / nodes_per == j / nodes_per {
+                    prop_assert_eq!(m.get(a, b), same);
+                } else {
+                    prop_assert_eq!(m.get(a, b), cross);
+                }
+            }
+        }
+    }
+
+    /// neighbors_by_distance returns all other nodes, nearest first.
+    #[test]
+    fn neighbors_sorted_and_complete(from in 0usize..8) {
+        let topo = presets::epyc_9354_2s();
+        let from = NodeId::new(from);
+        let order = topo.distances().neighbors_by_distance(from);
+        prop_assert_eq!(order.len(), 7);
+        prop_assert!(!order.contains(&from));
+        let dists: Vec<u16> = order.iter().map(|&n| topo.distances().get(from, n)).collect();
+        prop_assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// cpuset_of_mask size is always mask nodes × cores per node, and every
+    /// member core maps back into the mask.
+    #[test]
+    fn cpuset_of_mask_consistent(bits in 1u64..256) {
+        let topo = presets::epyc_9354_2s();
+        let mask = NodeMask::from_bits(bits);
+        let set = topo.cpuset_of_mask(mask);
+        prop_assert_eq!(set.count(), mask.count() * topo.cores_per_node());
+        for core in set.iter() {
+            prop_assert!(mask.contains(topo.node_of_core(core)));
+        }
+    }
+
+    /// Builder accepts exactly the divisible CCD configurations.
+    #[test]
+    fn builder_ccd_divisibility(cores in 1usize..33, ccd in 1usize..33) {
+        let r = Topology::builder()
+            .cores_per_node(cores)
+            .cores_per_ccd(ccd)
+            .build();
+        prop_assert_eq!(r.is_ok(), cores % ccd == 0);
+    }
+}

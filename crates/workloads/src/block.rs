@@ -1,0 +1,287 @@
+//! 5×5 block linear algebra for the BT pseudo-application.
+//!
+//! NPB BT is *Block* Tri-diagonal: each grid point carries the five
+//! Navier–Stokes unknowns (ρ, ρu, ρv, ρw, E), so its line solves eliminate
+//! 5×5 blocks, not scalars. This module provides the block operations and
+//! the block-Thomas elimination the BT kernel uses.
+//!
+//! Index-based loops over the fixed 5×5 dimension are the clearest notation
+//! for dense block kernels, so the iterator-style lint is disabled here.
+#![allow(clippy::needless_range_loop)]
+
+/// A dense 5×5 matrix (row-major).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Block5(pub [[f64; 5]; 5]);
+
+/// A 5-vector.
+pub type Vec5 = [f64; 5];
+
+impl Block5 {
+    /// The zero matrix.
+    pub const ZERO: Block5 = Block5([[0.0; 5]; 5]);
+
+    /// The identity matrix.
+    pub fn identity() -> Block5 {
+        let mut m = Block5::ZERO;
+        for i in 0..5 {
+            m.0[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// A deterministic diagonally-dominant test block: off-diagonal entries
+    /// derived from `(salt, strength)`, diagonal set to dominate.
+    pub fn dominant(salt: u64, strength: f64) -> Block5 {
+        let mut m = Block5::ZERO;
+        let mut state = salt | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..5 {
+            let mut off_sum = 0.0;
+            for j in 0..5 {
+                if i != j {
+                    m.0[i][j] = strength * next();
+                    off_sum += m.0[i][j].abs();
+                }
+            }
+            m.0[i][i] = off_sum + 1.0 + next().abs();
+        }
+        m
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul(&self, rhs: &Block5) -> Block5 {
+        let mut out = Block5::ZERO;
+        for i in 0..5 {
+            for k in 0..5 {
+                let a = self.0[i][k];
+                if a != 0.0 {
+                    for j in 0..5 {
+                        out.0[i][j] += a * rhs.0[k][j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &Vec5) -> Vec5 {
+        let mut out = [0.0; 5];
+        for i in 0..5 {
+            for j in 0..5 {
+                out[i] += self.0[i][j] * v[j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Block5) -> Block5 {
+        let mut out = *self;
+        for i in 0..5 {
+            for j in 0..5 {
+                out.0[i][j] -= rhs.0[i][j];
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// # Panics
+    /// Panics if the block is numerically singular (pivot below 1e-12) —
+    /// the BT systems are diagonally dominant, so this indicates corrupted
+    /// coefficients.
+    pub fn inverse(&self) -> Block5 {
+        let mut a = self.0;
+        let mut inv = Block5::identity().0;
+        for col in 0..5 {
+            // Partial pivot.
+            let pivot_row = (col..5)
+                .max_by(|&r1, &r2| {
+                    a[r1][col]
+                        .abs()
+                        .partial_cmp(&a[r2][col].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            a.swap(col, pivot_row);
+            inv.swap(col, pivot_row);
+            let pivot = a[col][col];
+            assert!(pivot.abs() > 1e-12, "singular block (pivot {pivot})");
+            let inv_pivot = 1.0 / pivot;
+            for j in 0..5 {
+                a[col][j] *= inv_pivot;
+                inv[col][j] *= inv_pivot;
+            }
+            for row in 0..5 {
+                if row != col {
+                    let factor = a[row][col];
+                    if factor != 0.0 {
+                        for j in 0..5 {
+                            a[row][j] -= factor * a[col][j];
+                            inv[row][j] -= factor * inv[col][j];
+                        }
+                    }
+                }
+            }
+        }
+        Block5(inv)
+    }
+}
+
+/// Subtracts `m·v` from `out`.
+fn sub_mul_vec(out: &mut Vec5, m: &Block5, v: &Vec5) {
+    for i in 0..5 {
+        for j in 0..5 {
+            out[i] -= m.0[i][j] * v[j];
+        }
+    }
+}
+
+/// Solves one block tri-diagonal system in place.
+///
+/// The system has constant block coefficients `(a, b, c)` (sub-, main- and
+/// super-diagonal blocks) over `d.len()` block rows; `d` holds the
+/// right-hand-side 5-vectors on entry and the solution on exit.
+///
+/// Standard block-Thomas: forward-eliminate with block inverses, then
+/// back-substitute. `O(n)` block operations, each `O(5³)`.
+///
+/// # Panics
+/// Panics if the system is shorter than 1 row or a pivot block turns out
+/// singular.
+pub fn block_thomas_solve(a: &Block5, b: &Block5, c: &Block5, d: &mut [Vec5]) {
+    let n = d.len();
+    assert!(n >= 1, "empty block system");
+    // cp[i] = (b − a·cp[i−1])⁻¹ · c, carried forward like scalar Thomas.
+    let mut cp: Vec<Block5> = Vec::with_capacity(n);
+    let binv = b.inverse();
+    cp.push(binv.mul(c));
+    d[0] = binv.mul_vec(&d[0]);
+    for i in 1..n {
+        let denom = b.sub(&a.mul(&cp[i - 1]));
+        let denom_inv = denom.inverse();
+        cp.push(denom_inv.mul(c));
+        // d[i] = denom⁻¹ (d[i] − a·d[i−1])
+        let mut rhs = d[i];
+        let prev = d[i - 1];
+        sub_mul_vec(&mut rhs, a, &prev);
+        d[i] = denom_inv.mul_vec(&rhs);
+    }
+    for i in (0..n - 1).rev() {
+        let next = d[i + 1];
+        let mut cur = d[i];
+        sub_mul_vec(&mut cur, &cp[i], &next);
+        d[i] = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::max_abs_diff;
+
+    fn flat(v: &[Vec5]) -> Vec<f64> {
+        v.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i = Block5::identity();
+        assert_eq!(i.inverse(), i);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Block5::dominant(7, 0.8);
+        let prod = m.mul(&m.inverse());
+        let err = max_abs_diff(
+            &flat(&prod.0.map(|r| r)),
+            &flat(&Block5::identity().0.map(|r| r)),
+        );
+        assert!(err < 1e-10, "M·M⁻¹ ≠ I: {err}");
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = Block5::dominant(3, 0.5);
+        let v: Vec5 = [1.0, -2.0, 0.5, 3.0, -1.5];
+        // Embed v as a column and compare.
+        let mut col = Block5::ZERO;
+        for i in 0..5 {
+            col.0[i][0] = v[i];
+        }
+        let by_mat = m.mul(&col);
+        let by_vec = m.mul_vec(&v);
+        for i in 0..5 {
+            assert!((by_mat.0[i][0] - by_vec[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_thomas_matches_manufactured_solution() {
+        let a = Block5::dominant(11, 0.2);
+        let b = Block5::dominant(12, 0.3);
+        let c = Block5::dominant(13, 0.2);
+        // Strengthen the main diagonal for block dominance.
+        let mut b = b;
+        for i in 0..5 {
+            b.0[i][i] += 4.0;
+        }
+        let n = 12;
+        let expected: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut v = [0.0; 5];
+                for (k, slot) in v.iter_mut().enumerate() {
+                    *slot = ((i * 5 + k) as f64 * 0.37).sin();
+                }
+                v
+            })
+            .collect();
+        // d = A·expected for the block tri-diagonal A.
+        let mut d: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut v = b.mul_vec(&expected[i]);
+                if i > 0 {
+                    let lo = a.mul_vec(&expected[i - 1]);
+                    for k in 0..5 {
+                        v[k] += lo[k];
+                    }
+                }
+                if i + 1 < n {
+                    let hi = c.mul_vec(&expected[i + 1]);
+                    for k in 0..5 {
+                        v[k] += hi[k];
+                    }
+                }
+                v
+            })
+            .collect();
+        block_thomas_solve(&a, &b, &c, &mut d);
+        assert!(
+            max_abs_diff(&flat(&d), &flat(&expected)) < 1e-9,
+            "block Thomas diverged"
+        );
+    }
+
+    #[test]
+    fn single_block_row() {
+        let b = Block5::dominant(5, 0.4);
+        let x: Vec5 = [2.0, -1.0, 0.0, 1.5, 3.0];
+        let mut d = vec![b.mul_vec(&x)];
+        block_thomas_solve(&Block5::ZERO, &b, &Block5::ZERO, &mut d);
+        assert!(max_abs_diff(&d[0], &x) < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_block_panics() {
+        Block5::ZERO.inverse();
+    }
+}

@@ -1,0 +1,524 @@
+//! NPB **FT** — 3-D Fast Fourier Transform.
+//!
+//! FT performs repeated FFTs with global transposes between dimensions —
+//! "extensive long-distance memory communication" (paper §4.2). The loops
+//! are perfectly balanced, so the paper finds: ILAN keeps all 64 cores
+//! (Figure 3), gains +12.3% purely from hierarchical locality (Figure 2),
+//! and is itself beaten by static work-sharing, which gets the same locality
+//! with zero scheduling overhead on this imbalance-free code (Figure 6).
+//!
+//! Native kernel: a 2-D complex FFT (row FFTs → transpose → row FFTs),
+//! pointwise spectral evolution each timestep, all loops as taskloops.
+
+use crate::ptr::SyncSlice;
+use crate::spec::{blocked_tasks, Scale, SimApp, SimSite};
+use ilan::driver::run_native_invocation;
+use ilan::{Policy, RunStats, SiteRegistry};
+use ilan_numasim::Locality;
+use ilan_runtime::ThreadPool;
+use ilan_topology::Topology;
+
+/// Simulator profile (see module docs).
+pub fn sim_app(topology: &Topology, scale: Scale) -> SimApp {
+    let chunks = scale.chunks(256);
+    // Local FFT passes: compute-rich, streaming, cache-friendly when the
+    // same rows revisit the same node every timestep. Perfectly balanced.
+    let fft_pass = SimSite {
+        name: "ft/fft-rows",
+        tasks: blocked_tasks(
+            topology,
+            chunks,
+            300_000.0,
+            2_000_000.0,
+            Locality::Chunked,
+            0.30,
+            true,
+            |_| 1.0,
+        ),
+    };
+    // Transpose: all-to-all traffic, latency-tolerant streaming. Balanced.
+    let transpose = SimSite {
+        name: "ft/transpose",
+        tasks: blocked_tasks(
+            topology,
+            chunks,
+            160_000.0,
+            1_600_000.0,
+            Locality::Scattered { spread: 1.0 },
+            0.0,
+            false,
+            |_| 1.0,
+        ),
+    };
+    // Spectral evolve: light pointwise multiply.
+    let evolve = SimSite {
+        name: "ft/evolve",
+        tasks: blocked_tasks(
+            topology,
+            chunks / 2,
+            60_000.0,
+            1_200_000.0,
+            Locality::Chunked,
+            0.25,
+            true,
+            |_| 1.0,
+        ),
+    };
+    SimApp {
+        name: "FT",
+        // evolve, FFT pass, transpose, FFT pass, transpose back.
+        sites: vec![fft_pass, transpose, evolve],
+        schedule: vec![2, 0, 1, 0, 1],
+        steps: scale.steps(200),
+        serial_ns: 250_000.0,
+    }
+}
+
+/// In-place radix-2 Cooley–Tukey FFT of one row (`re`/`im` of length `n`,
+/// `n` a power of two). `inverse` selects the inverse transform (without
+/// the 1/n normalisation — callers normalise).
+pub fn fft_row(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "re/im length mismatch");
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// A square complex field of side `n` (row-major), with 2-D FFT timesteps.
+pub struct FtGrid {
+    /// Side length (power of two).
+    pub n: usize,
+    /// Real parts, row-major `n × n`.
+    pub re: Vec<f64>,
+    /// Imaginary parts, row-major `n × n`.
+    pub im: Vec<f64>,
+}
+
+impl FtGrid {
+    /// A deterministic pseudo-random initial field.
+    pub fn new(n: usize) -> FtGrid {
+        assert!(n.is_power_of_two(), "side must be a power of two");
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let re = (0..n * n).map(|_| next()).collect();
+        let im = (0..n * n).map(|_| next()).collect();
+        FtGrid { n, re, im }
+    }
+
+    /// Sum of squared magnitudes (Parseval checksum).
+    pub fn energy(&self) -> f64 {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(r, i)| r * r + i * i)
+            .sum()
+    }
+
+    /// Serial out-of-place transpose.
+    pub fn transpose_serial(&mut self) {
+        let n = self.n;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                self.re.swap(r * n + c, c * n + r);
+                self.im.swap(r * n + c, c * n + r);
+            }
+        }
+    }
+}
+
+/// One 2-D FFT of the grid on the native runtime (row FFTs → transpose →
+/// row FFTs → transpose), each stage a taskloop through `policy`.
+pub fn fft2d_native(
+    pool: &ThreadPool,
+    policy: &mut dyn Policy,
+    grid: &mut FtGrid,
+    sites: &mut SiteRegistry,
+    inverse: bool,
+    stats: &mut RunStats,
+) {
+    let n = grid.n;
+    let grain = (n / 64).max(1);
+    let s_rows = sites.site("ft/fft-rows");
+    let s_tr = sites.site("ft/transpose");
+
+    for _half in 0..2 {
+        // Row FFTs.
+        {
+            let re = SyncSlice::new(&mut grid.re);
+            let im = SyncSlice::new(&mut grid.im);
+            let (_, rep) = run_native_invocation(pool, policy, s_rows, 0..n, grain, |rows| {
+                let mut row_re = vec![0.0; n];
+                let mut row_im = vec![0.0; n];
+                for row in rows {
+                    for c in 0..n {
+                        // SAFETY: rows are disjoint between chunks.
+                        unsafe {
+                            row_re[c] = re.read(row * n + c);
+                            row_im[c] = im.read(row * n + c);
+                        }
+                    }
+                    fft_row(&mut row_re, &mut row_im, inverse);
+                    for c in 0..n {
+                        // SAFETY: rows are disjoint between chunks.
+                        unsafe {
+                            re.write(row * n + c, row_re[c]);
+                            im.write(row * n + c, row_im[c]);
+                        }
+                    }
+                }
+            });
+            stats.add(&rep);
+        }
+        // Transpose (upper-triangle swap, rows disjoint via row ownership of
+        // the strict upper triangle).
+        {
+            let re = SyncSlice::new(&mut grid.re);
+            let im = SyncSlice::new(&mut grid.im);
+            let (_, rep) = run_native_invocation(pool, policy, s_tr, 0..n, grain, |rows| {
+                for r in rows {
+                    for c in (r + 1)..n {
+                        // SAFETY: the pair (r·n+c, c·n+r) with c > r is
+                        // touched only by the chunk owning row r.
+                        unsafe {
+                            let a = re.read(r * n + c);
+                            let b = re.read(c * n + r);
+                            re.write(r * n + c, b);
+                            re.write(c * n + r, a);
+                            let a = im.read(r * n + c);
+                            let b = im.read(c * n + r);
+                            im.write(r * n + c, b);
+                            im.write(c * n + r, a);
+                        }
+                    }
+                }
+            });
+            stats.add(&rep);
+        }
+    }
+
+    if inverse {
+        let scale = 1.0 / (n * n) as f64;
+        for v in grid.re.iter_mut().chain(grid.im.iter_mut()) {
+            *v *= scale;
+        }
+    }
+}
+
+/// A cubic complex field of side `n` with full 3-D FFT support — the true
+/// FT formulation (the 2-D [`FtGrid`] remains as the lighter proxy).
+pub struct FtCube {
+    /// Side length (power of two).
+    pub n: usize,
+    /// Real parts, index `x + n·(y + n·z)`.
+    pub re: Vec<f64>,
+    /// Imaginary parts, same layout.
+    pub im: Vec<f64>,
+}
+
+impl FtCube {
+    /// Deterministic pseudo-random initial field.
+    pub fn new(n: usize) -> FtCube {
+        assert!(n.is_power_of_two(), "side must be a power of two");
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let re = (0..n * n * n).map(|_| next()).collect();
+        let im = (0..n * n * n).map(|_| next()).collect();
+        FtCube { n, re, im }
+    }
+
+    /// Sum of squared magnitudes (Parseval checksum).
+    pub fn energy(&self) -> f64 {
+        self.re
+            .iter()
+            .zip(&self.im)
+            .map(|(r, i)| r * r + i * i)
+            .sum()
+    }
+}
+
+/// Full 3-D FFT of the cube on the native runtime: for each axis, a
+/// taskloop over the `n²` pencils running 1-D FFTs along that axis (gather
+/// → FFT → scatter, so no explicit transpose pass is needed; the strided
+/// gathers are exactly FT's "long-distance communication").
+pub fn fft3d_native(
+    pool: &ThreadPool,
+    policy: &mut dyn Policy,
+    cube: &mut FtCube,
+    sites: &mut SiteRegistry,
+    inverse: bool,
+    stats: &mut RunStats,
+) {
+    let n = cube.n;
+    let site = [
+        sites.site("ft/fft-x"),
+        sites.site("ft/fft-y"),
+        sites.site("ft/fft-z"),
+    ];
+    // Stride pattern of each axis in the x + n·(y + n·z) layout.
+    let index = |axis: usize, i: usize, j: usize, k: usize| -> usize {
+        match axis {
+            0 => i + n * (j + n * k),
+            1 => j + n * (i + n * k),
+            _ => j + n * (k + n * i),
+        }
+    };
+
+    for axis in 0..3 {
+        let pencils = n * n;
+        let grain = (pencils / 64).max(1);
+        let re = SyncSlice::new(&mut cube.re);
+        let im = SyncSlice::new(&mut cube.im);
+        let (_, rep) =
+            run_native_invocation(pool, policy, site[axis], 0..pencils, grain, |range| {
+                let mut pr = vec![0.0; n];
+                let mut pi = vec![0.0; n];
+                for l in range {
+                    let (j, k) = (l % n, l / n);
+                    for i in 0..n {
+                        // SAFETY: pencils are disjoint between chunks.
+                        unsafe {
+                            pr[i] = re.read(index(axis, i, j, k));
+                            pi[i] = im.read(index(axis, i, j, k));
+                        }
+                    }
+                    fft_row(&mut pr, &mut pi, inverse);
+                    for i in 0..n {
+                        // SAFETY: pencils are disjoint between chunks.
+                        unsafe {
+                            re.write(index(axis, i, j, k), pr[i]);
+                            im.write(index(axis, i, j, k), pi[i]);
+                        }
+                    }
+                }
+            });
+        stats.add(&rep);
+    }
+
+    if inverse {
+        let scale = 1.0 / (n * n * n) as f64;
+        for v in cube.re.iter_mut().chain(cube.im.iter_mut()) {
+            *v *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{all_finite, max_abs_diff};
+    use ilan::BaselinePolicy;
+    use ilan_runtime::{PinMode, PoolConfig};
+    use ilan_topology::presets;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let n = 16;
+        let mut re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut im: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let (re0, im0) = (re.clone(), im.clone());
+        fft_row(&mut re, &mut im, false);
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0, 0.0);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                sr += re0[t] * ang.cos() - im0[t] * ang.sin();
+                si += re0[t] * ang.sin() + im0[t] * ang.cos();
+            }
+            assert!((re[k] - sr).abs() < 1e-9, "k={k}: {} vs {}", re[k], sr);
+            assert!((im[k] - si).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_identity() {
+        let n = 64;
+        let mut re: Vec<f64> = (0..n).map(|i| (i as f64).sqrt().sin()).collect();
+        let mut im = vec![0.0; n];
+        let (re0, im0) = (re.clone(), im.clone());
+        fft_row(&mut re, &mut im, false);
+        fft_row(&mut re, &mut im, true);
+        for v in re.iter_mut().chain(im.iter_mut()) {
+            *v /= n as f64;
+        }
+        assert!(max_abs_diff(&re, &re0) < 1e-10);
+        assert!(max_abs_diff(&im, &im0) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_row(&mut re, &mut im, false);
+    }
+
+    #[test]
+    fn native_fft2d_roundtrip_and_parseval() {
+        let pool =
+            ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+        let mut grid = FtGrid::new(32);
+        let original_re = grid.re.clone();
+        let original_im = grid.im.clone();
+        let spatial_energy = grid.energy();
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut policy = BaselinePolicy;
+
+        fft2d_native(&pool, &mut policy, &mut grid, &mut sites, false, &mut stats);
+        // Parseval: spectral energy = n² × spatial energy.
+        let expected = spatial_energy * (grid.n * grid.n) as f64;
+        assert!(
+            (grid.energy() - expected).abs() / expected < 1e-10,
+            "Parseval violated"
+        );
+        assert!(all_finite(&grid.re));
+
+        fft2d_native(&pool, &mut policy, &mut grid, &mut sites, true, &mut stats);
+        assert!(max_abs_diff(&grid.re, &original_re) < 1e-9);
+        assert!(max_abs_diff(&grid.im, &original_im) < 1e-9);
+        assert!(stats.invocations >= 8);
+    }
+
+    #[test]
+    fn fft3d_roundtrip_and_parseval() {
+        let pool =
+            ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+        let mut cube = FtCube::new(8);
+        let original_re = cube.re.clone();
+        let original_im = cube.im.clone();
+        let spatial = cube.energy();
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut policy = BaselinePolicy;
+
+        fft3d_native(&pool, &mut policy, &mut cube, &mut sites, false, &mut stats);
+        let expected = spatial * (cube.n * cube.n * cube.n) as f64;
+        assert!(
+            (cube.energy() - expected).abs() / expected < 1e-10,
+            "Parseval violated in 3-D"
+        );
+
+        fft3d_native(&pool, &mut policy, &mut cube, &mut sites, true, &mut stats);
+        assert!(max_abs_diff(&cube.re, &original_re) < 1e-10);
+        assert!(max_abs_diff(&cube.im, &original_im) < 1e-10);
+        assert_eq!(stats.invocations, 6); // 3 axes × 2 transforms
+    }
+
+    #[test]
+    fn fft3d_single_mode_lands_in_one_bin() {
+        // A pure plane wave e^{2πi(x·1)/n} transforms to a single spike.
+        let n = 8;
+        let mut cube = FtCube::new(n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let phase = 2.0 * std::f64::consts::PI * x as f64 / n as f64;
+                    cube.re[x + n * (y + n * z)] = phase.cos();
+                    cube.im[x + n * (y + n * z)] = phase.sin();
+                }
+            }
+        }
+        let pool =
+            ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut policy = BaselinePolicy;
+        fft3d_native(&pool, &mut policy, &mut cube, &mut sites, false, &mut stats);
+        // All energy in bin (kx, ky, kz) = (1, 0, 0).
+        let spike = cube.re[1].hypot(cube.im[1]);
+        assert!(
+            (spike - (n * n * n) as f64).abs() < 1e-9,
+            "spike magnitude {spike}"
+        );
+        let total = cube.energy();
+        assert!(
+            (total - spike * spike).abs() / total < 1e-12,
+            "energy leaked out of the spike bin"
+        );
+    }
+
+    #[test]
+    fn transpose_serial_is_involution() {
+        let mut g = FtGrid::new(8);
+        let re0 = g.re.clone();
+        g.transpose_serial();
+        assert_ne!(g.re, re0);
+        g.transpose_serial();
+        assert_eq!(g.re, re0);
+    }
+
+    #[test]
+    fn sim_profile_is_balanced_and_below_saturation() {
+        let topo = presets::epyc_9354_2s();
+        let app = sim_app(&topo, Scale::Quick);
+        for site in &app.sites {
+            let times: Vec<f64> = site.tasks.iter().map(|t| t.ideal_ns(22.0)).collect();
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(
+                (max - min).abs() < 1e-9,
+                "FT site {} must be balanced",
+                site.name
+            );
+        }
+        // The FFT pass must not saturate memory at 64 cores (FT keeps 64).
+        let pass = &app.sites[0];
+        let desired64: f64 = pass
+            .tasks
+            .iter()
+            .take(64)
+            .map(|t| t.mem_bytes / t.ideal_ns(22.0))
+            .sum();
+        assert!(desired64 < 640.0, "FT pass must not saturate: {desired64}");
+    }
+}

@@ -1,0 +1,422 @@
+//! **LULESH** — Livermore unstructured Lagrangian hydrodynamics proxy.
+//!
+//! LULESH models a Sedov blast on an unstructured hex mesh; its timestep is
+//! a pipeline of loops with very different characters (force assembly is
+//! heavy and slightly imbalanced, the nodal updates are light streaming
+//! passes, the EOS is moderate with some gather). The paper uses it as the
+//! "many diverse loops" workload (s = 400, 200 iterations) and finds a
+//! modest ILAN gain with slightly increased variance (Table 1).
+//!
+//! Native kernel: a 1-D staggered-grid Lagrangian hydro code (Sod-like shock
+//! tube): zone pressure/force, nodal acceleration → velocity → position,
+//! zone volume/density/energy/EOS — six taskloop sites per step, mirroring
+//! the LULESH loop pipeline. Mass is conserved exactly; the parallel step is
+//! bit-identical to the serial reference.
+
+use crate::ptr::SyncSlice;
+use crate::spec::{blocked_tasks, jitter_weight, Scale, SimApp, SimSite};
+use ilan::driver::run_native_invocation;
+use ilan::{Policy, RunStats, SiteRegistry};
+use ilan_numasim::Locality;
+use ilan_runtime::ThreadPool;
+use ilan_topology::Topology;
+
+/// Simulator profile (see module docs).
+pub fn sim_app(topology: &Topology, scale: Scale) -> SimApp {
+    let chunks = scale.chunks(256);
+    let force = SimSite {
+        name: "lulesh/force",
+        tasks: blocked_tasks(
+            topology,
+            chunks,
+            280_000.0,
+            1_400_000.0,
+            Locality::Chunked,
+            0.15,
+            true,
+            |i| jitter_weight(i, 0x11, 0.18),
+        ),
+    };
+    let accel_vel = SimSite {
+        name: "lulesh/accel-vel",
+        tasks: blocked_tasks(
+            topology,
+            chunks / 2,
+            50_000.0,
+            800_000.0,
+            Locality::Chunked,
+            0.15,
+            true,
+            |_| 1.0,
+        ),
+    };
+    let position = SimSite {
+        name: "lulesh/position",
+        tasks: blocked_tasks(
+            topology,
+            chunks / 2,
+            45_000.0,
+            700_000.0,
+            Locality::Chunked,
+            0.15,
+            true,
+            |_| 1.0,
+        ),
+    };
+    let eos = SimSite {
+        name: "lulesh/eos",
+        tasks: blocked_tasks(
+            topology,
+            chunks,
+            160_000.0,
+            1_200_000.0,
+            Locality::Scattered { spread: 0.15 },
+            0.15,
+            true,
+            |i| jitter_weight(i, 0x12, 0.10),
+        ),
+    };
+    SimApp {
+        name: "LULESH",
+        sites: vec![force, accel_vel, position, eos],
+        schedule: vec![0, 1, 2, 3],
+        steps: scale.steps(200),
+        serial_ns: 400_000.0,
+    }
+}
+
+/// State of the 1-D staggered-grid hydro problem: `n` zones, `n + 1` nodes.
+pub struct HydroState {
+    /// Zone count.
+    pub n: usize,
+    /// Node positions (length `n + 1`), strictly increasing.
+    pub x: Vec<f64>,
+    /// Node velocities (length `n + 1`).
+    pub v: Vec<f64>,
+    /// Zone masses (length `n`), fixed.
+    pub mass: Vec<f64>,
+    /// Zone densities (length `n`).
+    pub rho: Vec<f64>,
+    /// Zone specific internal energies (length `n`).
+    pub e: Vec<f64>,
+    /// Zone pressures (length `n`).
+    pub p: Vec<f64>,
+    /// Adiabatic index.
+    pub gamma: f64,
+}
+
+impl HydroState {
+    /// A Sod-like shock tube: high pressure/density on the left half.
+    pub fn sod(n: usize) -> HydroState {
+        assert!(n >= 2, "need at least two zones");
+        let x: Vec<f64> = (0..=n).map(|i| i as f64 / n as f64).collect();
+        let v = vec![0.0; n + 1];
+        let gamma = 1.4;
+        let mut rho = vec![0.125; n];
+        let mut p = vec![0.1; n];
+        for i in 0..n / 2 {
+            rho[i] = 1.0;
+            p[i] = 1.0;
+        }
+        let dx = 1.0 / n as f64;
+        let mass: Vec<f64> = rho.iter().map(|r| r * dx).collect();
+        let e: Vec<f64> = rho
+            .iter()
+            .zip(&p)
+            .map(|(r, pp)| pp / ((gamma - 1.0) * r))
+            .collect();
+        HydroState {
+            n,
+            x,
+            v,
+            mass,
+            rho,
+            e,
+            p,
+            gamma,
+        }
+    }
+
+    /// Total mass (exactly conserved — the mesh is Lagrangian).
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Total energy: internal + kinetic (approximately conserved).
+    pub fn total_energy(&self) -> f64 {
+        let internal: f64 = self.mass.iter().zip(&self.e).map(|(m, e)| m * e).sum();
+        // Nodal kinetic energy with half-mass lumping from adjacent zones.
+        let mut kinetic = 0.0;
+        for i in 0..=self.n {
+            let m = 0.5
+                * (if i > 0 { self.mass[i - 1] } else { 0.0 }
+                    + if i < self.n { self.mass[i] } else { 0.0 });
+            kinetic += 0.5 * m * self.v[i] * self.v[i];
+        }
+        internal + kinetic
+    }
+
+    /// Serial reference timestep (leapfrog with artificial viscosity).
+    pub fn step_serial(&mut self, dt: f64) {
+        let n = self.n;
+        let q = self.viscosity();
+        // Nodal force = pressure jump across the node; reflective walls.
+        let mut accel = vec![0.0; n + 1];
+        for (i, a) in accel.iter_mut().enumerate() {
+            let pl = if i > 0 {
+                self.p[i - 1] + q[i - 1]
+            } else {
+                self.p[0] + q[0]
+            };
+            let pr = if i < n {
+                self.p[i] + q[i]
+            } else {
+                self.p[n - 1] + q[n - 1]
+            };
+            let m = 0.5
+                * (if i > 0 {
+                    self.mass[i - 1]
+                } else {
+                    self.mass[0]
+                } + if i < n {
+                    self.mass[i]
+                } else {
+                    self.mass[n - 1]
+                });
+            *a = (pl - pr) / m;
+        }
+        for (v, a) in self.v.iter_mut().zip(&accel) {
+            *v += dt * a;
+        }
+        // Walls stay put.
+        self.v[0] = 0.0;
+        self.v[n] = 0.0;
+        for i in 0..=n {
+            self.x[i] += dt * self.v[i];
+        }
+        // Zone update: volume, density, energy (pdV + viscous heating), EOS.
+        #[allow(clippy::needless_range_loop)] // five arrays share the index
+        for i in 0..n {
+            let dx = self.x[i + 1] - self.x[i];
+            let new_rho = self.mass[i] / dx;
+            let dv_specific = 1.0 / new_rho - 1.0 / self.rho[i];
+            self.e[i] -= (self.p[i] + q[i]) * dv_specific;
+            self.e[i] = self.e[i].max(1e-12);
+            self.rho[i] = new_rho;
+            self.p[i] = (self.gamma - 1.0) * self.rho[i] * self.e[i];
+        }
+    }
+
+    /// Von Neumann–Richtmyer artificial viscosity per zone.
+    fn viscosity(&self) -> Vec<f64> {
+        const C_Q: f64 = 2.0;
+        (0..self.n)
+            .map(|i| {
+                let dv = self.v[i + 1] - self.v[i];
+                if dv < 0.0 {
+                    C_Q * self.rho[i] * dv * dv
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// A stable timestep from the CFL condition.
+    pub fn cfl_dt(&self) -> f64 {
+        let mut dt = f64::INFINITY;
+        for i in 0..self.n {
+            let dx = self.x[i + 1] - self.x[i];
+            let cs = (self.gamma * self.p[i] / self.rho[i]).sqrt();
+            dt = dt.min(0.25 * dx / (cs + 1e-12));
+        }
+        dt
+    }
+}
+
+/// One native timestep: the same physics as [`HydroState::step_serial`],
+/// with each loop a taskloop through `policy` (force, accel+vel, position,
+/// zone/EOS sites). Produces bit-identical results to the serial step.
+pub fn step_native(
+    pool: &ThreadPool,
+    policy: &mut dyn Policy,
+    state: &mut HydroState,
+    sites: &mut SiteRegistry,
+    dt: f64,
+    stats: &mut RunStats,
+) {
+    let n = state.n;
+    let grain_nodes = ((n + 1) / 128).max(8);
+    let grain_zones = (n / 128).max(8);
+    let s_force = sites.site("lulesh/force");
+    let s_vel = sites.site("lulesh/accel-vel");
+    let s_pos = sites.site("lulesh/position");
+    let s_eos = sites.site("lulesh/eos");
+
+    let q = state.viscosity();
+
+    // Force + acceleration per node.
+    let mut accel = vec![0.0; n + 1];
+    {
+        let out = SyncSlice::new(&mut accel);
+        let (p, mass) = (&state.p, &state.mass);
+        let (_, rep) = run_native_invocation(pool, policy, s_force, 0..n + 1, grain_nodes, |is| {
+            for i in is {
+                let pl = if i > 0 {
+                    p[i - 1] + q[i - 1]
+                } else {
+                    p[0] + q[0]
+                };
+                let pr = if i < n {
+                    p[i] + q[i]
+                } else {
+                    p[n - 1] + q[n - 1]
+                };
+                let m = 0.5
+                    * (if i > 0 { mass[i - 1] } else { mass[0] }
+                        + if i < n { mass[i] } else { mass[n - 1] });
+                // SAFETY: node indices are disjoint between chunks.
+                unsafe { out.write(i, (pl - pr) / m) };
+            }
+        });
+        stats.add(&rep);
+    }
+
+    // Velocity update.
+    {
+        let v = SyncSlice::new(&mut state.v);
+        let (_, rep) = run_native_invocation(pool, policy, s_vel, 0..n + 1, grain_nodes, |is| {
+            for i in is {
+                // SAFETY: node indices are disjoint between chunks.
+                unsafe { *v.get_mut(i) += dt * accel[i] };
+            }
+        });
+        stats.add(&rep);
+    }
+    state.v[0] = 0.0;
+    state.v[n] = 0.0;
+
+    // Position update.
+    {
+        let x = SyncSlice::new(&mut state.x);
+        let v = &state.v;
+        let (_, rep) = run_native_invocation(pool, policy, s_pos, 0..n + 1, grain_nodes, |is| {
+            for i in is {
+                // SAFETY: node indices are disjoint between chunks.
+                unsafe { *x.get_mut(i) += dt * v[i] };
+            }
+        });
+        stats.add(&rep);
+    }
+
+    // Zone update: volume, density, energy, EOS.
+    {
+        let rho = SyncSlice::new(&mut state.rho);
+        let e = SyncSlice::new(&mut state.e);
+        let p = SyncSlice::new(&mut state.p);
+        let (x, mass, gamma) = (&state.x, &state.mass, state.gamma);
+        let (_, rep) = run_native_invocation(pool, policy, s_eos, 0..n, grain_zones, |is| {
+            for i in is {
+                // SAFETY: zone indices are disjoint between chunks; `x` is
+                // read-only in this phase.
+                unsafe {
+                    let dx = x[i + 1] - x[i];
+                    let new_rho = mass[i] / dx;
+                    let dv_specific = 1.0 / new_rho - 1.0 / rho.read(i);
+                    let mut ei = e.read(i) - (p.read(i) + q[i]) * dv_specific;
+                    ei = ei.max(1e-12);
+                    e.write(i, ei);
+                    rho.write(i, new_rho);
+                    p.write(i, (gamma - 1.0) * new_rho * ei);
+                }
+            }
+        });
+        stats.add(&rep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{all_finite, max_abs_diff};
+    use ilan::BaselinePolicy;
+    use ilan_runtime::{PinMode, PoolConfig};
+    use ilan_topology::presets;
+
+    #[test]
+    fn sod_setup_shape() {
+        let s = HydroState::sod(100);
+        assert_eq!(s.x.len(), 101);
+        assert_eq!(s.rho[0], 1.0);
+        assert_eq!(s.rho[99], 0.125);
+        assert!(s.total_mass() > 0.0);
+    }
+
+    #[test]
+    fn serial_step_conserves_mass_and_roughly_energy() {
+        let mut s = HydroState::sod(200);
+        let m0 = s.total_mass();
+        let e0 = s.total_energy();
+        for _ in 0..100 {
+            let dt = s.cfl_dt();
+            s.step_serial(dt);
+        }
+        assert_eq!(s.total_mass(), m0, "Lagrangian mass must be exact");
+        let e1 = s.total_energy();
+        assert!((e1 - e0).abs() / e0 < 0.05, "energy drifted: {e0} → {e1}");
+        assert!(all_finite(&s.p));
+        // The shock moved: right half is no longer uniform.
+        assert!(s.v.iter().any(|&v| v.abs() > 1e-3));
+    }
+
+    #[test]
+    fn mesh_stays_monotone() {
+        let mut s = HydroState::sod(150);
+        for _ in 0..200 {
+            let dt = s.cfl_dt();
+            s.step_serial(dt);
+            assert!(s.x.windows(2).all(|w| w[1] > w[0]), "mesh tangled");
+        }
+    }
+
+    #[test]
+    fn native_step_matches_serial_bitwise() {
+        let pool =
+            ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+        let mut parallel = HydroState::sod(300);
+        let mut serial = HydroState::sod(300);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut policy = BaselinePolicy;
+        for _ in 0..50 {
+            let dt = serial.cfl_dt();
+            let dt_par = parallel.cfl_dt();
+            assert_eq!(dt, dt_par);
+            step_native(
+                &pool,
+                &mut policy,
+                &mut parallel,
+                &mut sites,
+                dt,
+                &mut stats,
+            );
+            serial.step_serial(dt);
+        }
+        assert_eq!(max_abs_diff(&parallel.x, &serial.x), 0.0);
+        assert_eq!(max_abs_diff(&parallel.e, &serial.e), 0.0);
+        assert_eq!(max_abs_diff(&parallel.p, &serial.p), 0.0);
+        assert_eq!(stats.invocations, 200); // 4 loops × 50 steps
+    }
+
+    #[test]
+    fn sim_profile_has_diverse_sites() {
+        let topo = presets::epyc_9354_2s();
+        let app = sim_app(&topo, Scale::Quick);
+        assert_eq!(app.sites.len(), 4);
+        // Force loop is heavier than the nodal updates.
+        let mean = |site: &crate::SimSite| {
+            site.tasks.iter().map(|t| t.ideal_ns(22.0)).sum::<f64>() / site.tasks.len() as f64
+        };
+        assert!(mean(&app.sites[0]) > 2.0 * mean(&app.sites[2]));
+    }
+}

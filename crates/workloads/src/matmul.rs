@@ -1,0 +1,212 @@
+//! **Matmul** — dense matrix multiplication.
+//!
+//! The paper's control benchmark: high arithmetic intensity, perfect
+//! scaling, cache-blocked access. NUMA-aware optimisation has nothing to
+//! offer, so ILAN shows a *slight* performance reduction — the cost of the
+//! exploration phase plus per-invocation configuration selection — and a
+//! predictable increase in scheduling overhead (Figure 5). Reproducing this
+//! regression honestly matters as much as reproducing the wins.
+//!
+//! Native kernel: `C += A·B` blocked over rows, with a taskloop over row
+//! blocks, iterated like the paper's 200-iteration kernel loop.
+
+use crate::ptr::SyncSlice;
+use crate::spec::{blocked_tasks, Scale, SimApp, SimSite};
+use ilan::driver::run_native_invocation;
+use ilan::{Policy, RunStats, SiteRegistry};
+use ilan_numasim::Locality;
+use ilan_runtime::ThreadPool;
+use ilan_topology::Topology;
+
+/// Simulator profile (see module docs).
+pub fn sim_app(topology: &Topology, scale: Scale) -> SimApp {
+    let chunks = scale.chunks(256);
+    // Compute-bound: memory stream is a trickle next to the FLOPs; blocked
+    // access keeps it in cache. Perfectly balanced.
+    let gemm = SimSite {
+        name: "matmul/gemm",
+        tasks: blocked_tasks(
+            topology,
+            chunks,
+            1_300_000.0,
+            550_000.0,
+            Locality::Chunked,
+            0.45,
+            true,
+            |_| 1.0,
+        ),
+    };
+    SimApp {
+        name: "Matmul",
+        sites: vec![gemm],
+        schedule: vec![0],
+        steps: scale.steps(200),
+        serial_ns: 200_000.0,
+    }
+}
+
+/// A row-major square matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(n: usize) -> Matrix {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Deterministic pseudo-random matrix with entries in `[-0.5, 0.5)`.
+    pub fn random(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let data = (0..n * n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        Matrix { n, data }
+    }
+
+    /// Naive serial reference: `C = A·B`.
+    pub fn mul_serial(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.n, b.n, "dimension mismatch");
+        let n = self.n;
+        let mut c = Matrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.data[i * n + k];
+                for j in 0..n {
+                    c.data[i * n + j] += aik * b.data[k * n + j];
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Parallel `C = A·B` on the native runtime: a taskloop over rows with an
+/// i-k-j kernel (cache-friendly row streaming).
+pub fn mul_native(
+    pool: &ThreadPool,
+    policy: &mut dyn Policy,
+    a: &Matrix,
+    b: &Matrix,
+    sites: &mut SiteRegistry,
+    stats: &mut RunStats,
+) -> Matrix {
+    assert_eq!(a.n, b.n, "dimension mismatch");
+    let n = a.n;
+    let mut c = Matrix::zeros(n);
+    let site = sites.site("matmul/gemm");
+    let grain = (n / 64).max(1);
+    {
+        let out = SyncSlice::new(&mut c.data);
+        let (_, rep) = run_native_invocation(pool, policy, site, 0..n, grain, |rows| {
+            let mut acc = vec![0.0f64; n];
+            for i in rows {
+                acc.iter_mut().for_each(|x| *x = 0.0);
+                for k in 0..n {
+                    let aik = a.data[i * n + k];
+                    if aik != 0.0 {
+                        let brow = &b.data[k * n..(k + 1) * n];
+                        for (j, bv) in brow.iter().enumerate() {
+                            acc[j] += aik * bv;
+                        }
+                    }
+                }
+                for (j, &v) in acc.iter().enumerate() {
+                    // SAFETY: rows are disjoint between chunks.
+                    unsafe { out.write(i * n + j, v) };
+                }
+            }
+        });
+        stats.add(&rep);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::max_abs_diff;
+    use ilan::{BaselinePolicy, IlanParams, IlanScheduler};
+    use ilan_runtime::{PinMode, PoolConfig};
+    use ilan_topology::presets;
+
+    #[test]
+    fn serial_identity() {
+        let n = 8;
+        let mut eye = Matrix::zeros(n);
+        for i in 0..n {
+            eye.data[i * n + i] = 1.0;
+        }
+        let a = Matrix::random(n, 3);
+        let c = a.mul_serial(&eye);
+        assert!(max_abs_diff(&c.data, &a.data) < 1e-15);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let pool =
+            ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+        let a = Matrix::random(48, 1);
+        let b = Matrix::random(48, 2);
+        let reference = a.mul_serial(&b);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut policy = BaselinePolicy;
+        let c = mul_native(&pool, &mut policy, &a, &b, &mut sites, &mut stats);
+        assert!(max_abs_diff(&c.data, &reference.data) < 1e-12);
+        assert_eq!(stats.invocations, 1);
+    }
+
+    #[test]
+    fn repeated_iterations_under_ilan_stay_correct() {
+        let topo = presets::tiny_2x4();
+        let pool = ThreadPool::new(PoolConfig::new(topo.clone()).pin(PinMode::Never)).unwrap();
+        let a = Matrix::random(32, 5);
+        let b = Matrix::random(32, 6);
+        let reference = a.mul_serial(&b);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        let mut ilan = IlanScheduler::new(IlanParams::for_topology(&topo));
+        // Enough iterations to take ILAN through search + trial + settle.
+        for _ in 0..10 {
+            let c = mul_native(&pool, &mut ilan, &a, &b, &mut sites, &mut stats);
+            assert!(max_abs_diff(&c.data, &reference.data) < 1e-12);
+        }
+        assert_eq!(stats.invocations, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_mismatched_dims() {
+        let a = Matrix::random(4, 1);
+        let b = Matrix::random(5, 2);
+        a.mul_serial(&b);
+    }
+
+    #[test]
+    fn sim_profile_is_compute_bound() {
+        let topo = presets::epyc_9354_2s();
+        let app = sim_app(&topo, Scale::Quick);
+        let gemm = &app.sites[0];
+        for t in &gemm.tasks {
+            let mem_ns = t.mem_bytes / 22.0;
+            assert!(
+                t.compute_ns > 10.0 * mem_ns,
+                "matmul must be compute-dominated"
+            );
+        }
+    }
+}

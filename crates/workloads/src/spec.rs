@@ -1,0 +1,261 @@
+//! Common simulated-application machinery.
+
+use ilan::driver::run_sim_invocation;
+use ilan::{Policy, RunStats, SiteId};
+use ilan_numasim::{SimMachine, TaskSpec};
+use ilan_topology::Topology;
+
+/// Problem scale for the simulator profiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Few timesteps, few chunks: fast enough for unit tests and CI.
+    Quick,
+    /// The paper-shaped run: enough invocations per site to amortize ILAN's
+    /// exploration, as in the evaluation (§4.2).
+    #[default]
+    Paper,
+}
+
+impl Scale {
+    /// Scales a step count.
+    pub fn steps(self, paper: usize) -> usize {
+        match self {
+            Scale::Quick => (paper / 10).max(12),
+            Scale::Paper => paper,
+        }
+    }
+
+    /// Scales a per-loop chunk count.
+    pub fn chunks(self, paper: usize) -> usize {
+        match self {
+            Scale::Quick => (paper / 2).max(64),
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// One taskloop site of a simulated application.
+#[derive(Clone, Debug)]
+pub struct SimSite {
+    /// Human-readable name (`"cg/spmv"`).
+    pub name: &'static str,
+    /// The chunks of one invocation of this loop.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// A simulated application: a fixed per-timestep sequence of taskloop
+/// invocations plus serial glue time.
+///
+/// The structure (which loops, how many chunks, what cost model) is fixed at
+/// construction from a fixed workload seed — the same program and input every
+/// run. Run-to-run variation comes only from the machine's noise seed.
+#[derive(Clone, Debug)]
+pub struct SimApp {
+    /// Benchmark name (`"CG"`).
+    pub name: &'static str,
+    /// The application's taskloop sites.
+    pub sites: Vec<SimSite>,
+    /// Sequence of site indices executed in each timestep.
+    pub schedule: Vec<usize>,
+    /// Number of timesteps.
+    pub steps: usize,
+    /// Serial (non-taskloop) time per timestep, ns.
+    pub serial_ns: f64,
+}
+
+impl SimApp {
+    /// Validates internal consistency (panics on malformed apps — a
+    /// programming error in a workload constructor).
+    pub fn validate(&self) {
+        assert!(!self.sites.is_empty(), "app needs at least one site");
+        assert!(!self.schedule.is_empty(), "app needs a schedule");
+        assert!(self.steps > 0, "app needs at least one step");
+        for &s in &self.schedule {
+            assert!(s < self.sites.len(), "schedule references missing site {s}");
+        }
+        for site in &self.sites {
+            assert!(!site.tasks.is_empty(), "site {} has no tasks", site.name);
+            for t in &site.tasks {
+                t.validate();
+            }
+        }
+    }
+
+    /// Total taskloop invocations in one run.
+    pub fn invocations(&self) -> usize {
+        self.steps * self.schedule.len()
+    }
+
+    /// Runs the application once on `machine` under `policy`, returning the
+    /// run's aggregate statistics.
+    pub fn run(&self, machine: &mut SimMachine, policy: &mut dyn Policy) -> RunStats {
+        let mut stats = RunStats::new();
+        for _ in 0..self.steps {
+            for &idx in &self.schedule {
+                let site = SiteId::new(idx as u64);
+                let (_, report) = run_sim_invocation(machine, policy, site, &self.sites[idx].tasks);
+                stats.add(&report);
+            }
+            machine.advance_serial(self.serial_ns);
+            stats.add_serial(self.serial_ns);
+        }
+        stats
+    }
+}
+
+/// Builds the chunks of one taskloop: chunk `i`'s data lives on the node
+/// given by the blocked first-touch layout over all nodes (parallel
+/// initialisation over the whole machine, as the NPB/LULESH codes do), with
+/// per-chunk work factors supplied by `weight` (1.0 = nominal).
+#[allow(clippy::too_many_arguments)] // internal builder mirroring TaskSpec's fields
+pub(crate) fn blocked_tasks(
+    topology: &Topology,
+    chunks: usize,
+    compute_ns: f64,
+    mem_bytes: f64,
+    locality: ilan_numasim::Locality,
+    cache_reuse: f64,
+    fits_l3: bool,
+    weight: impl Fn(usize) -> f64,
+) -> Vec<TaskSpec> {
+    use ilan_topology::NodeId;
+    let nodes = topology.num_nodes();
+    let data_mask = topology.all_nodes();
+    (0..chunks)
+        .map(|i| {
+            let w = weight(i);
+            TaskSpec {
+                compute_ns: compute_ns * w,
+                mem_bytes: mem_bytes * w,
+                home_node: NodeId::new(i * nodes / chunks),
+                locality,
+                data_mask,
+                cache_reuse,
+                fits_l3,
+            }
+        })
+        .collect()
+}
+
+/// A deterministic pseudo-random weight in `[1−spread, 1+spread]` for chunk
+/// `i` — the fixed, data-dependent imbalance of a workload (same every run).
+pub(crate) fn jitter_weight(i: usize, salt: u64, spread: f64) -> f64 {
+    // SplitMix64 on (i, salt): cheap, stable, well-distributed.
+    let mut z = (i as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(salt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    1.0 + spread * (2.0 * u - 1.0)
+}
+
+/// The benchmarks of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// NPB Conjugate Gradient.
+    Cg,
+    /// NPB Fourier Transform.
+    Ft,
+    /// NPB Block Tri-diagonal pseudo-application.
+    Bt,
+    /// NPB Scalar Penta-diagonal pseudo-application.
+    Sp,
+    /// NPB Lower-Upper Gauss–Seidel pseudo-application.
+    Lu,
+    /// Dense matrix multiplication.
+    Matmul,
+    /// LULESH-like hydrodynamics proxy.
+    Lulesh,
+}
+
+/// All seven benchmarks, in the paper's figure order.
+pub const ALL_WORKLOADS: [Workload; 7] = [
+    Workload::Ft,
+    Workload::Bt,
+    Workload::Cg,
+    Workload::Lu,
+    Workload::Sp,
+    Workload::Matmul,
+    Workload::Lulesh,
+];
+
+impl Workload {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Cg => "CG",
+            Workload::Ft => "FT",
+            Workload::Bt => "BT",
+            Workload::Sp => "SP",
+            Workload::Lu => "LU",
+            Workload::Matmul => "Matmul",
+            Workload::Lulesh => "LULESH",
+        }
+    }
+
+    /// Builds the benchmark's simulator profile for `topology`.
+    pub fn sim_app(self, topology: &Topology, scale: Scale) -> SimApp {
+        let app = match self {
+            Workload::Cg => crate::cg::sim_app(topology, scale),
+            Workload::Ft => crate::ft::sim_app(topology, scale),
+            Workload::Bt => crate::bt::sim_app(topology, scale),
+            Workload::Sp => crate::sp::sim_app(topology, scale),
+            Workload::Lu => crate::lu::sim_app(topology, scale),
+            Workload::Matmul => crate::matmul::sim_app(topology, scale),
+            Workload::Lulesh => crate::lulesh::sim_app(topology, scale),
+        };
+        app.validate();
+        app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan::BaselinePolicy;
+    use ilan_numasim::MachineParams;
+    use ilan_topology::presets;
+
+    #[test]
+    fn scales() {
+        assert_eq!(Scale::Paper.steps(200), 200);
+        assert!(Scale::Quick.steps(200) < 200);
+        assert!(Scale::Quick.steps(200) >= 12);
+        assert!(Scale::Quick.chunks(256) >= 64);
+    }
+
+    #[test]
+    fn all_apps_validate_and_run_quick() {
+        let topo = presets::epyc_9354_2s();
+        for w in ALL_WORKLOADS {
+            let app = w.sim_app(&topo, Scale::Quick);
+            assert_eq!(app.name, w.name());
+            let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
+            // Run just a couple of steps' worth by truncating.
+            let mut small = app.clone();
+            small.steps = 2;
+            let mut policy = BaselinePolicy;
+            let stats = small.run(&mut machine, &mut policy);
+            assert_eq!(stats.invocations as usize, small.invocations());
+            assert!(stats.total_time_ns > 0.0, "{} produced no time", w.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule references missing site")]
+    fn validate_catches_bad_schedule() {
+        let app = SimApp {
+            name: "bad",
+            sites: vec![SimSite {
+                name: "x",
+                tasks: vec![],
+            }],
+            schedule: vec![3],
+            steps: 1,
+            serial_ns: 0.0,
+        };
+        app.validate();
+    }
+}

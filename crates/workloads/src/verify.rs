@@ -1,0 +1,68 @@
+//! Numerical verification helpers shared by the native kernels.
+
+/// Maximum absolute element-wise difference between two slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error `‖a − b‖ / ‖b‖` (absolute L2 if `b` is zero).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn rel_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if den > 0.0 {
+        num / den
+    } else {
+        num
+    }
+}
+
+/// Whether every element is finite (no NaN/∞ escaped the kernel).
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rel_l2_basic() {
+        assert!((rel_l2_error(&[3.0, 4.0], &[0.0, 0.0]) - 5.0).abs() < 1e-12);
+        assert!(rel_l2_error(&[1.0, 1.0], &[1.0, 1.0]) < 1e-15);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(all_finite(&[0.0, -1.0, 1e300]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's experiment, natively, at laptop scale.
+//!
+//! ```text
+//! cargo run --release --example native_bench [--laptop]
+//! ```
+//!
+//! Runs all seven benchmarks with real math on this machine's cores under
+//! the three schedulers and prints wall time, verification status and
+//! scheduler statistics. On a non-NUMA machine the schedulers mostly tie —
+//! the value here is that the *complete* evaluation pipeline runs natively,
+//! numerics verified, on whatever hardware you have.
+
+use ilan_suite::prelude::*;
+use ilan_suite::workloads::{run_native_app, NativeScale};
+
+fn main() {
+    let laptop = std::env::args().any(|a| a == "--laptop");
+    let scale = if laptop {
+        NativeScale::laptop()
+    } else {
+        NativeScale::quick()
+    };
+
+    let topo = ilan_suite::topology::detect::detect();
+    println!("machine: {}", topo.summary());
+    println!("scale:   {scale:?}\n");
+    let pool = ThreadPool::new(PoolConfig::new(topo.clone())).expect("pool");
+
+    println!(
+        "{:<8} {:<12} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "bench", "scheduler", "wall(ms)", "loops", "avg thr", "check", "ok"
+    );
+    for workload in ALL_WORKLOADS {
+        let mut policies: Vec<(&str, Box<dyn Policy>)> = vec![
+            ("baseline", Box::new(BaselinePolicy)),
+            ("worksharing", Box::new(WorkSharingPolicy)),
+            (
+                "ilan",
+                Box::new(IlanScheduler::new(IlanParams::for_topology(&topo))),
+            ),
+        ];
+        for (name, policy) in policies.iter_mut() {
+            let summary = run_native_app(workload, &pool, policy.as_mut(), scale);
+            println!(
+                "{:<8} {:<12} {:>10.1} {:>10} {:>9.1} {:>10.1e} {:>9}",
+                workload.name(),
+                name,
+                summary.wall.as_secs_f64() * 1e3,
+                summary.stats.invocations,
+                summary.stats.weighted_avg_threads(),
+                summary.check,
+                if summary.verified() { "✓" } else { "✗ FAILED" },
+            );
+            assert!(summary.verified(), "{} failed verification", workload.name());
+        }
+    }
+    println!("\nall benchmarks verified under every scheduler ✓");
+}

@@ -1,0 +1,202 @@
+//! End-to-end tests of the native kernels under every scheduling policy.
+//!
+//! These are the functional-correctness leg of the reproduction: whatever
+//! configuration the scheduler picks, the numerics must be identical. Each
+//! kernel runs on a small oversubscribed pool (the suite must pass on any
+//! machine, including single-core CI).
+
+use ilan_suite::prelude::*;
+use ilan_suite::workloads::{bt, cg, ft, lu, lulesh, matmul};
+
+fn pool() -> ThreadPool {
+    ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).expect("pool")
+}
+
+fn policies(topo: &Topology) -> Vec<(&'static str, Box<dyn Policy>)> {
+    vec![
+        ("baseline", Box::new(BaselinePolicy)),
+        ("worksharing", Box::new(WorkSharingPolicy)),
+        (
+            "ilan",
+            Box::new(IlanScheduler::new(IlanParams::for_topology(topo))),
+        ),
+        (
+            "ilan-nomold",
+            Box::new(IlanScheduler::new(IlanParams::no_moldability(topo))),
+        ),
+    ]
+}
+
+#[test]
+fn cg_converges_under_every_policy() {
+    let pool = pool();
+    let matrix = cg::Csr::poisson_irregular(20, 2, 5);
+    for (name, mut policy) in policies(pool.topology()) {
+        let result = cg::run_native(&pool, policy.as_mut(), &matrix, 150);
+        assert!(
+            result.residual < 1e-8,
+            "{name}: residual {}",
+            result.residual
+        );
+    }
+}
+
+#[test]
+fn fft_roundtrips_under_every_policy() {
+    let pool = pool();
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut grid = ft::FtGrid::new(32);
+        let original = grid.re.clone();
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        ft::fft2d_native(
+            &pool,
+            policy.as_mut(),
+            &mut grid,
+            &mut sites,
+            false,
+            &mut stats,
+        );
+        ft::fft2d_native(
+            &pool,
+            policy.as_mut(),
+            &mut grid,
+            &mut sites,
+            true,
+            &mut stats,
+        );
+        let err = ilan_suite::workloads::verify::max_abs_diff(&grid.re, &original);
+        assert!(err < 1e-9, "{name}: roundtrip error {err}");
+    }
+}
+
+#[test]
+fn bt_matches_serial_under_every_policy() {
+    let pool = pool();
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut parallel = bt::BtGrid::new(10);
+        let mut serial = bt::BtGrid::new(10);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        for _ in 0..2 {
+            bt::step_native(
+                &pool,
+                policy.as_mut(),
+                &mut parallel,
+                &mut sites,
+                &mut stats,
+            );
+            serial.step_serial();
+        }
+        let err = ilan_suite::workloads::verify::max_abs_diff(&parallel.u, &serial.u);
+        assert!(err < 1e-12, "{name}: diverged by {err}");
+    }
+}
+
+#[test]
+fn sp_matches_serial_under_every_policy() {
+    let pool = pool();
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut parallel = ilan_suite::workloads::sp::SpGrid::new(8);
+        let mut serial = ilan_suite::workloads::sp::SpGrid::new(8);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        for _ in 0..2 {
+            ilan_suite::workloads::sp::step_native(
+                &pool,
+                policy.as_mut(),
+                &mut parallel,
+                &mut sites,
+                &mut stats,
+            );
+            serial.step_serial();
+        }
+        let err = ilan_suite::workloads::verify::max_abs_diff(&parallel.u, &serial.u);
+        assert!(err < 1e-11, "{name}: diverged by {err}");
+    }
+}
+
+#[test]
+fn lu_wavefront_is_bit_identical_under_every_policy() {
+    let pool = pool();
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut parallel = lu::LuGrid::new(20);
+        let mut serial = lu::LuGrid::new(20);
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        for _ in 0..3 {
+            lu::sweep_native(
+                &pool,
+                policy.as_mut(),
+                &mut parallel,
+                &mut sites,
+                &mut stats,
+            );
+            serial.sweep_serial();
+        }
+        assert_eq!(parallel.u, serial.u, "{name}: wavefront order violated");
+    }
+}
+
+#[test]
+fn hydro_conserves_mass_under_every_policy() {
+    let pool = pool();
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut state = lulesh::HydroState::sod(200);
+        let mass0 = state.total_mass();
+        let e0 = state.total_energy();
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        for _ in 0..30 {
+            let dt = state.cfl_dt();
+            lulesh::step_native(
+                &pool,
+                policy.as_mut(),
+                &mut state,
+                &mut sites,
+                dt,
+                &mut stats,
+            );
+        }
+        assert_eq!(state.total_mass(), mass0, "{name}: mass drifted");
+        let drift = (state.total_energy() / e0 - 1.0).abs();
+        assert!(drift < 0.05, "{name}: energy drift {drift}");
+    }
+}
+
+#[test]
+fn matmul_matches_reference_under_every_policy() {
+    let pool = pool();
+    let a = matmul::Matrix::random(40, 11);
+    let b = matmul::Matrix::random(40, 12);
+    let reference = a.mul_serial(&b);
+    for (name, mut policy) in policies(pool.topology()) {
+        let mut sites = SiteRegistry::new();
+        let mut stats = RunStats::new();
+        for _ in 0..5 {
+            let c = matmul::mul_native(&pool, policy.as_mut(), &a, &b, &mut sites, &mut stats);
+            let err = ilan_suite::workloads::verify::max_abs_diff(&c.data, &reference.data);
+            assert!(err < 1e-12, "{name}: wrong product, err {err}");
+        }
+    }
+}
+
+#[test]
+fn ilan_settles_on_repeated_native_sites() {
+    // Drive one site through its full lifecycle on the native runtime and
+    // check the PTT recorded every invocation.
+    let pool = pool();
+    let topo = pool.topology().clone();
+    let mut ilan = IlanScheduler::new(IlanParams::for_topology(&topo));
+    let site = SiteId::new(0);
+    for _ in 0..8 {
+        run_native_invocation(&pool, &mut ilan, site, 0..5_000, 100, |r| {
+            std::hint::black_box(r.map(|i| i as f64).sum::<f64>());
+        });
+    }
+    assert_eq!(ilan.ptt().invocations(site), 8);
+    assert!(
+        ilan.settled_decision(site).is_some(),
+        "8 invocations must settle a 2-node machine"
+    );
+}

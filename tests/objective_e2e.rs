@@ -1,0 +1,76 @@
+//! End-to-end behaviour of the optimization objectives on the simulated
+//! machine (the §3.5 energy-efficiency extension).
+
+use ilan_suite::prelude::*;
+use ilan_suite::scheduler::Objective;
+
+/// Runs CG under an ILAN scheduler configured with `objective`, returning
+/// (weighted average threads, wall seconds, core-seconds energy proxy).
+fn run_cg_with(objective: Objective) -> (f64, f64, f64) {
+    let topo = presets::epyc_9354_2s();
+    let app = Workload::Cg.sim_app(&topo, Scale::Quick);
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
+    let mut ilan = IlanScheduler::new(
+        ilan_suite::scheduler::IlanParams::for_topology(&topo).objective(objective),
+    );
+    let stats = app.run(&mut machine, &mut ilan);
+    let wall = stats.wall_time_ns() * 1e-9;
+    let energy = stats.weighted_avg_threads() * stats.total_time_ns * 1e-9;
+    (stats.weighted_avg_threads(), wall, energy)
+}
+
+#[test]
+fn energy_objective_trades_time_for_core_seconds() {
+    let (threads_t, wall_t, energy_t) = run_cg_with(Objective::Time);
+    let (threads_e, wall_e, energy_e) = run_cg_with(Objective::Energy);
+
+    // The energy objective must use at most as many cores…
+    assert!(
+        threads_e <= threads_t + 1e-9,
+        "energy used more cores: {threads_e} vs {threads_t}"
+    );
+    // …spend fewer core-seconds…
+    assert!(
+        energy_e < energy_t,
+        "energy proxy did not improve: {energy_e} vs {energy_t}"
+    );
+    // …at a wall-time cost that stays bounded (the energy optimum for a
+    // saturated loop sits near the granularity floor, so a 2–3× slowdown
+    // for a ~2× core-seconds saving is the expected shape of the trade).
+    assert!(
+        wall_e < wall_t * 4.0,
+        "energy objective unreasonably slow: {wall_e}s vs {wall_t}s"
+    );
+}
+
+#[test]
+fn edp_sits_between_time_and_energy() {
+    let (threads_t, ..) = run_cg_with(Objective::Time);
+    let (threads_d, ..) = run_cg_with(Objective::EnergyDelay);
+    let (threads_e, ..) = run_cg_with(Objective::Energy);
+    assert!(
+        threads_e <= threads_d + 1e-9 && threads_d <= threads_t + 1e-9,
+        "expected threads(E) ≤ threads(EDP) ≤ threads(T): \
+         {threads_e} / {threads_d} / {threads_t}"
+    );
+}
+
+#[test]
+fn compute_bound_loops_are_objective_insensitive() {
+    // Matmul scales linearly, so all objectives keep the machine.
+    let topo = presets::epyc_9354_2s();
+    for objective in [Objective::Time, Objective::Energy, Objective::EnergyDelay] {
+        let app = Workload::Matmul.sim_app(&topo, Scale::Quick);
+        let mut machine =
+            SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
+        let mut ilan = IlanScheduler::new(
+            ilan_suite::scheduler::IlanParams::for_topology(&topo).objective(objective),
+        );
+        let stats = app.run(&mut machine, &mut ilan);
+        assert!(
+            stats.weighted_avg_threads() > 56.0,
+            "{objective:?} molded a compute-bound loop: {}",
+            stats.weighted_avg_threads()
+        );
+    }
+}
