@@ -1,0 +1,35 @@
+//! Macro-benchmark of the co-scheduling service (real wall time): how fast
+//! `ilan-server` serves a small job stream under each sharing policy on the
+//! tiny machine. Guards the colocation engine's event loop — its rate
+//! recomputation spans every lane, so regressions here compound faster than
+//! in the single-loop engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilan_server::{generate_stream, run_colocation, ServerConfig, SharingPolicy, StreamParams};
+use ilan_topology::presets;
+use std::time::Duration;
+
+fn serve_stream(c: &mut Criterion) {
+    let topo = presets::tiny_2x4();
+    let stream = generate_stream(1, &StreamParams::mixed(6, 1e6));
+    let mut group = c.benchmark_group("colo-serve");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+    for policy in [
+        SharingPolicy::Naive,
+        SharingPolicy::StaticEqual,
+        SharingPolicy::InterferenceAware,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let config = ServerConfig::new(&topo, policy);
+                run_colocation(&config, &stream, 1).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_stream);
+criterion_main!(benches);

@@ -8,12 +8,15 @@
 //!
 //! Artifacts: `fig2` (speedup), `fig3` (thread counts), `fig4`
 //! (no-moldability ablation), `fig5` (scheduling overhead), `fig6`
-//! (work-sharing comparison), `table1` (variance), `all`.
+//! (work-sharing comparison), `table1` (variance), `colo` (multi-tenant
+//! co-scheduling: one job stream under three sharing policies), `all`.
 //!
 //! Options: `--runs N` (default 30, the paper's repetition count),
 //! `--quick` (scaled-down workloads for a fast smoke pass),
 //! `--out DIR` (also write CSVs), `--topology zen4|rome|xeon` or a spec
-//! like `2x4x8:ccd=4` (see `ilan_topology::parse_spec`).
+//! like `2x4x8:ccd=4` (see `ilan_topology::parse_spec`). The `colo`
+//! artifact additionally takes `--jobs N` (stream length, default 16) and
+//! `--seed S` (stream + machine seed, default 1).
 
 use ilan_bench::{collect, figures, Scheduler, ALL_SCHEDULERS};
 use ilan_topology::{presets, Topology};
@@ -27,11 +30,14 @@ struct Args {
     scale: Scale,
     out: Option<PathBuf>,
     topology: Topology,
+    jobs: usize,
+    seed: u64,
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|all> \
-     [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]]"
+    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|all> \
+     [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]] \
+     [--jobs N] [--seed S]"
 }
 
 fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -42,6 +48,8 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         scale: Scale::Paper,
         out: None,
         topology: presets::epyc_9354_2s(),
+        jobs: 16,
+        seed: 1,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -66,6 +74,17 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     spec => ilan_topology::parse_spec(spec)
                         .map_err(|e| format!("bad topology `{spec}`: {e}"))?,
                 };
+            }
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs needs a value")?;
+                args.jobs = v.parse().map_err(|_| format!("bad --jobs value {v}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value {v}"))?;
             }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -92,6 +111,7 @@ fn main() -> ExitCode {
         "sites",
         "converge",
         "bandwidth",
+        "colo",
         "all",
     ];
     if !valid.contains(&args.artifact.as_str()) {
@@ -106,6 +126,15 @@ fn main() -> ExitCode {
     }
     if args.artifact == "converge" {
         println!("{}", figures::converge(&args.topology, args.scale));
+        return ExitCode::SUCCESS;
+    }
+    if args.artifact == "colo" {
+        // Multi-tenant co-scheduling: one seeded job stream, three sharing
+        // policies, served by ilan-server on the colocation simulator.
+        let mut experiment =
+            ilan_server::ColoExperiment::new(&args.topology, args.jobs, args.seed);
+        experiment.scale = args.scale;
+        print!("{}", ilan_server::compare_policies(&experiment));
         return ExitCode::SUCCESS;
     }
 

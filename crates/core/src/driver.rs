@@ -189,6 +189,30 @@ mod tests {
     }
 
     #[test]
+    fn active_cores_clamps_excess_threads() {
+        // More threads than the mask can host: clamp to its capacity.
+        let t = presets::epyc_9354_2s();
+        let mask = NodeMask::first_n(2); // 16 cores
+        assert_eq!(active_cores(&t, mask, 1000).count(), 16);
+        assert_eq!(active_cores(&t, t.all_nodes(), usize::MAX).count(), 64);
+    }
+
+    #[test]
+    fn active_cores_single_node_mask() {
+        let t = presets::epyc_9354_2s();
+        let mask = NodeMask::single(NodeId::new(5));
+        let set = active_cores(&t, mask, 3);
+        assert_eq!(set.count(), 3);
+        // All three cores live on node 5.
+        for core in set.iter() {
+            assert_eq!(t.node_of_core(core), NodeId::new(5));
+        }
+        // Requesting the whole node (or more) yields exactly its cores.
+        assert_eq!(active_cores(&t, mask, 8).count(), 8);
+        assert_eq!(active_cores(&t, mask, 9).count(), 8);
+    }
+
+    #[test]
     fn build_plan_strict_fraction() {
         let d = Decision::Hierarchical {
             threads: 8,

@@ -7,7 +7,7 @@
 //! nodes crossing socket domains."
 
 use crate::ptt::SiteTable;
-use ilan_topology::{NodeId, NodeMask, Topology};
+use ilan_topology::{NodeMask, Topology};
 
 /// Number of nodes needed to host `threads` threads at node granularity.
 pub fn nodes_needed(topology: &Topology, threads: usize) -> usize {
@@ -22,14 +22,43 @@ pub fn nodes_needed(topology: &Topology, threads: usize) -> usize {
 /// back to node 0 before any history exists); the mask grows around it
 /// nearest-first via the topology's distance matrix.
 pub fn select_mask(topology: &Topology, table: Option<&SiteTable>, threads: usize) -> NodeMask {
-    let want = nodes_needed(topology, threads);
-    if want >= topology.num_nodes() {
-        return topology.all_nodes();
+    select_mask_within(topology, topology.all_nodes(), table, threads)
+}
+
+/// Like [`select_mask`], but confined to the `allowed` partition: the seed
+/// is the fastest *allowed* node and the mask grows nearest-first over
+/// allowed nodes only. Used by multi-tenant co-scheduling, where each tenant
+/// owns a disjoint slice of the machine.
+///
+/// # Panics
+/// Panics if `allowed` is empty.
+pub fn select_mask_within(
+    topology: &Topology,
+    allowed: NodeMask,
+    table: Option<&SiteTable>,
+    threads: usize,
+) -> NodeMask {
+    assert!(!allowed.is_empty(), "partition must contain at least one node");
+    let want = threads
+        .div_ceil(topology.cores_per_node())
+        .clamp(1, allowed.count());
+    if want >= allowed.count() {
+        return allowed;
     }
     let seed = table
         .and_then(|t| t.fastest_node())
-        .unwrap_or(NodeId::new(0));
-    topology.grow_mask(seed, want)
+        .filter(|n| allowed.contains(*n))
+        .unwrap_or_else(|| allowed.first().expect("allowed is non-empty"));
+    let mut mask = NodeMask::single(seed);
+    for n in topology.distances().neighbors_by_distance(seed) {
+        if mask.count() >= want {
+            break;
+        }
+        if allowed.contains(n) {
+            mask.insert(n);
+        }
+    }
+    mask
 }
 
 #[cfg(test)]
@@ -39,7 +68,7 @@ mod tests {
     use crate::report::TaskloopReport;
     use crate::site::SiteId;
     use ilan_runtime::StealPolicy;
-    use ilan_topology::presets;
+    use ilan_topology::{presets, NodeId};
 
     #[test]
     fn nodes_needed_rounds_up() {
@@ -85,6 +114,47 @@ mod tests {
         for n in m.iter() {
             assert_eq!(t.socket_of_node(n).index(), 1, "mask must stay on socket 1");
         }
+    }
+
+    #[test]
+    fn within_partition_stays_inside() {
+        let t = presets::epyc_9354_2s();
+        // Partition: socket 1 (nodes 4..8).
+        let allowed = NodeMask::from_bits(0b1111_0000);
+        for threads in [1, 8, 16, 24, 32, 64] {
+            let m = select_mask_within(&t, allowed, None, threads);
+            assert!(m.is_subset(allowed), "threads={threads}: {m:?} escapes partition");
+            assert!(!m.is_empty());
+        }
+        // Full partition demand (or more) returns the whole partition.
+        assert_eq!(select_mask_within(&t, allowed, None, 32), allowed);
+        assert_eq!(select_mask_within(&t, allowed, None, 64), allowed);
+    }
+
+    #[test]
+    fn within_partition_ignores_foreign_fastest_node() {
+        let t = presets::epyc_9354_2s();
+        let mut ptt = Ptt::new();
+        let site = SiteId::new(0);
+        // Node 1 (outside the partition) is observed fastest.
+        let mut speeds = vec![0.5; 8];
+        speeds[1] = 0.95;
+        let report = TaskloopReport {
+            node_speed: speeds,
+            ..TaskloopReport::synthetic(100.0, 64)
+        };
+        ptt.record(site, 64, t.all_nodes(), StealPolicy::Strict, &report);
+        let allowed = NodeMask::from_bits(0b1111_0000);
+        let m = select_mask_within(&t, allowed, ptt.site(site), 8);
+        assert_eq!(m.count(), 1);
+        assert!(m.is_subset(allowed), "foreign fastest node must not leak in");
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn within_empty_partition_panics() {
+        let t = presets::tiny_2x4();
+        select_mask_within(&t, NodeMask::EMPTY, None, 4);
     }
 
     #[test]

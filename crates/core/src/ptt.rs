@@ -20,6 +20,11 @@ pub struct RunningMean {
 }
 
 impl RunningMean {
+    /// Reconstructs a mean from its stored parts (PTT persistence).
+    pub fn from_parts(count: u64, mean: f64) -> Self {
+        RunningMean { count, mean }
+    }
+
     /// Adds a sample.
     pub fn push(&mut self, x: f64) {
         self.count += 1;
@@ -218,6 +223,153 @@ impl Ptt {
     pub fn num_sites(&self) -> usize {
         self.sites.len()
     }
+
+    /// All recorded site ids, ascending.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let mut ids: Vec<SiteId> = self.sites.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Serializes the table to a plain-text format (see [`load_text`]).
+    ///
+    /// The format is line-based and human-diffable; floating-point values
+    /// use Rust's shortest round-trip representation, so
+    /// `load_text(save_text())` reproduces the table exactly. Sites are
+    /// emitted in ascending id order, making the output deterministic.
+    ///
+    /// [`load_text`]: Ptt::load_text
+    pub fn save_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("ptt v1\n");
+        for id in self.site_ids() {
+            let table = &self.sites[&id];
+            let _ = writeln!(out, "site {} invocations={}", id.raw(), table.invocations);
+            for e in &table.entries {
+                let steal = match e.steal {
+                    StealPolicy::Strict => "strict",
+                    StealPolicy::Full => "full",
+                };
+                let _ = writeln!(
+                    out,
+                    "config threads={} steal={} mask={:#x} count={} mean={}",
+                    e.threads,
+                    steal,
+                    e.mask.bits(),
+                    e.time.count(),
+                    e.time.mean(),
+                );
+            }
+            for (i, s) in table.node_speed.iter().enumerate() {
+                let _ = writeln!(out, "node {} count={} mean={}", i, s.count(), s.mean());
+            }
+        }
+        out
+    }
+
+    /// Parses a table previously produced by [`save_text`](Ptt::save_text).
+    ///
+    /// Returns a descriptive error for any malformed line; an empty or
+    /// header-only document yields an empty table.
+    pub fn load_text(text: &str) -> Result<Ptt, String> {
+        fn field<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, String> {
+            tok.strip_prefix(key)
+                .and_then(|t| t.strip_prefix('='))
+                .ok_or_else(|| format!("line {line}: expected `{key}=...`, got `{tok}`"))
+        }
+        fn parse<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, String> {
+            s.parse()
+                .map_err(|_| format!("line {line}: invalid {what} `{s}`"))
+        }
+
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == "ptt v1" => {}
+            other => {
+                return Err(format!(
+                    "missing `ptt v1` header (got {:?})",
+                    other.map(|(_, l)| l)
+                ))
+            }
+        }
+
+        let mut ptt = Ptt::new();
+        let mut current: Option<SiteId> = None;
+        for (idx, raw) in lines {
+            let line = idx + 1; // 1-based for messages
+            let l = raw.trim();
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            match toks[0] {
+                "site" => {
+                    if toks.len() != 3 {
+                        return Err(format!("line {line}: malformed site line"));
+                    }
+                    let id = SiteId::new(parse(toks[1], "site id", line)?);
+                    let inv: u64 = parse(field(toks[2], "invocations", line)?, "count", line)?;
+                    let table = ptt.sites.entry(id).or_default();
+                    table.invocations = inv;
+                    current = Some(id);
+                }
+                "config" => {
+                    let site = current.ok_or_else(|| {
+                        format!("line {line}: `config` before any `site` line")
+                    })?;
+                    if toks.len() != 6 {
+                        return Err(format!("line {line}: malformed config line"));
+                    }
+                    let threads: usize =
+                        parse(field(toks[1], "threads", line)?, "thread count", line)?;
+                    let steal = match field(toks[2], "steal", line)? {
+                        "strict" => StealPolicy::Strict,
+                        "full" => StealPolicy::Full,
+                        other => {
+                            return Err(format!("line {line}: unknown steal policy `{other}`"))
+                        }
+                    };
+                    let bits_str = field(toks[3], "mask", line)?;
+                    let bits = u64::from_str_radix(
+                        bits_str.strip_prefix("0x").unwrap_or(bits_str),
+                        16,
+                    )
+                    .map_err(|_| format!("line {line}: invalid mask `{bits_str}`"))?;
+                    let count: u64 = parse(field(toks[4], "count", line)?, "count", line)?;
+                    let mean: f64 = parse(field(toks[5], "mean", line)?, "mean", line)?;
+                    let table = ptt.sites.get_mut(&site).expect("site exists");
+                    if table.entries.iter().any(|e| e.threads == threads && e.steal == steal) {
+                        return Err(format!(
+                            "line {line}: duplicate config ({threads}, {steal:?})"
+                        ));
+                    }
+                    table.entries.push(ConfigEntry {
+                        threads,
+                        steal,
+                        mask: NodeMask::from_bits(bits),
+                        time: RunningMean::from_parts(count, mean),
+                    });
+                }
+                "node" => {
+                    let site = current
+                        .ok_or_else(|| format!("line {line}: `node` before any `site` line"))?;
+                    if toks.len() != 4 {
+                        return Err(format!("line {line}: malformed node line"));
+                    }
+                    let i: usize = parse(toks[1], "node index", line)?;
+                    let count: u64 = parse(field(toks[2], "count", line)?, "count", line)?;
+                    let mean: f64 = parse(field(toks[3], "mean", line)?, "mean", line)?;
+                    let table = ptt.sites.get_mut(&site).expect("site exists");
+                    if table.node_speed.len() <= i {
+                        table.node_speed.resize(i + 1, RunningMean::default());
+                    }
+                    table.node_speed[i] = RunningMean::from_parts(count, mean);
+                }
+                other => return Err(format!("line {line}: unknown record `{other}`")),
+            }
+        }
+        Ok(ptt)
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +489,84 @@ mod tests {
         let pos32 = text.find("threads=32").unwrap();
         let pos64 = text.find("threads=64").unwrap();
         assert!(pos32 < pos64, "best config must render first:\n{text}");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut ptt = Ptt::new();
+        let a = SiteId::new(0);
+        let b = SiteId::new(7);
+        let mask = NodeMask::from_bits(0b1010);
+        ptt.record(a, 64, mask, StealPolicy::Strict, &report(1e6 / 3.0, &[0.5, 0.9]));
+        ptt.record(a, 32, mask, StealPolicy::Strict, &report(0.7e6, &[0.6, 0.0]));
+        ptt.record(a, 32, mask, StealPolicy::Full, &report(0.65e6, &[]));
+        ptt.record(b, 8, NodeMask::first_n(1), StealPolicy::Strict, &report(5e5, &[0.4]));
+
+        let text = ptt.save_text();
+        let loaded = Ptt::load_text(&text).expect("round trip");
+        assert_eq!(loaded.num_sites(), 2);
+        for site in [a, b] {
+            let orig = ptt.site(site).unwrap();
+            let copy = loaded.site(site).unwrap();
+            assert_eq!(copy.invocations(), orig.invocations());
+            assert_eq!(copy.entries().len(), orig.entries().len());
+            for (eo, ec) in orig.entries().iter().zip(copy.entries()) {
+                assert_eq!(ec.threads, eo.threads);
+                assert_eq!(ec.steal, eo.steal);
+                assert_eq!(ec.mask, eo.mask);
+                assert_eq!(ec.time.count(), eo.time.count());
+                assert_eq!(ec.time.mean(), eo.time.mean(), "exact float round trip");
+            }
+            assert_eq!(copy.fastest_node(), orig.fastest_node());
+            assert_eq!(
+                copy.fastest().unwrap().threads,
+                orig.fastest().unwrap().threads
+            );
+        }
+        // Serialization is deterministic and stable under a round trip.
+        assert_eq!(loaded.save_text(), text);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Ptt::load_text("").is_err(), "missing header");
+        assert!(Ptt::load_text("ptt v2\n").is_err(), "wrong version");
+        assert!(
+            Ptt::load_text("ptt v1\nconfig threads=8 steal=strict mask=0x1 count=1 mean=1")
+                .is_err(),
+            "config before site"
+        );
+        assert!(
+            Ptt::load_text("ptt v1\nsite 0 invocations=1\nconfig threads=8 steal=lazy mask=0x1 count=1 mean=1")
+                .is_err(),
+            "unknown steal policy"
+        );
+        assert!(
+            Ptt::load_text("ptt v1\nwat 1 2 3").is_err(),
+            "unknown record type"
+        );
+        // Duplicate configs are rejected rather than silently merged.
+        let dup = "ptt v1\nsite 0 invocations=2\n\
+                   config threads=8 steal=strict mask=0x1 count=1 mean=1\n\
+                   config threads=8 steal=strict mask=0x1 count=1 mean=2\n";
+        assert!(Ptt::load_text(dup).is_err());
+    }
+
+    #[test]
+    fn load_accepts_comments_and_blanks() {
+        let text = "ptt v1\n\n# a comment\nsite 3 invocations=1\nconfig threads=4 steal=full mask=0x1 count=1 mean=42.5\n";
+        let ptt = Ptt::load_text(text).unwrap();
+        let t = ptt.site(SiteId::new(3)).unwrap();
+        assert_eq!(t.invocations(), 1);
+        assert_eq!(t.fastest().unwrap().steal, StealPolicy::Full);
+        assert_eq!(t.fastest().unwrap().time.mean(), 42.5);
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let ptt = Ptt::new();
+        let loaded = Ptt::load_text(&ptt.save_text()).unwrap();
+        assert_eq!(loaded.num_sites(), 0);
     }
 
     #[test]

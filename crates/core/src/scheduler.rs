@@ -17,13 +17,13 @@
 
 use crate::algorithm1::{select_threads, SelectionInput};
 use crate::config::Decision;
-use crate::nodemask::select_mask;
+use crate::nodemask::select_mask_within;
 use crate::policy::Policy;
 use crate::ptt::Ptt;
 use crate::report::TaskloopReport;
 use crate::site::SiteId;
 use ilan_runtime::StealPolicy;
-use ilan_topology::Topology;
+use ilan_topology::{NodeMask, Topology};
 use std::collections::HashMap;
 
 /// Tuning parameters of the ILAN scheduler.
@@ -49,6 +49,11 @@ pub struct IlanParams {
     /// What the search minimizes. The paper uses wall time; the PTT can
     /// equally drive energy-oriented selection (§3.5).
     pub objective: crate::Objective,
+    /// The NUMA partition this scheduler may use. Defaults to the whole
+    /// machine; a multi-tenant co-scheduler (`ilan-server`) confines each
+    /// tenant to a disjoint partition. All thread counts, masks and the
+    /// moldability search operate within this partition.
+    pub allowed_mask: NodeMask,
 }
 
 impl IlanParams {
@@ -66,6 +71,7 @@ impl IlanParams {
             steal_trial: true,
             decision_cost_ns: 800.0,
             objective: crate::Objective::default(),
+            allowed_mask: topology.all_nodes(),
         }
     }
 
@@ -101,6 +107,29 @@ impl IlanParams {
     pub fn objective(mut self, objective: crate::Objective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// Confines the scheduler to a NUMA partition (builder style). The
+    /// granularity is re-clamped to the partition size so the moldability
+    /// search stays meaningful on small partitions.
+    ///
+    /// # Panics
+    /// Panics if `mask` is empty or references nodes outside the topology.
+    pub fn restrict_to(mut self, mask: NodeMask) -> Self {
+        assert!(!mask.is_empty(), "partition must contain at least one node");
+        assert!(
+            mask.is_subset(self.topology.all_nodes()),
+            "partition references nodes outside the topology"
+        );
+        self.allowed_mask = mask;
+        let m_max = self.partition_cores();
+        self.granularity = self.topology.cores_per_node().clamp(1, (m_max / 2).max(1));
+        self
+    }
+
+    /// Number of cores in the scheduler's partition.
+    pub fn partition_cores(&self) -> usize {
+        self.allowed_mask.count() * self.topology.cores_per_node()
     }
 }
 
@@ -140,7 +169,15 @@ impl IlanScheduler {
     pub fn new(params: IlanParams) -> Self {
         assert!(params.granularity >= 1, "granularity must be at least 1");
         assert!(
-            params.granularity <= params.topology.num_cores(),
+            !params.allowed_mask.is_empty(),
+            "partition must contain at least one node"
+        );
+        assert!(
+            params.allowed_mask.is_subset(params.topology.all_nodes()),
+            "partition references nodes outside the topology"
+        );
+        assert!(
+            params.granularity <= params.partition_cores(),
             "granularity exceeds machine size"
         );
         IlanScheduler {
@@ -148,6 +185,36 @@ impl IlanScheduler {
             ptt: Ptt::new(),
             sites: HashMap::new(),
         }
+    }
+
+    /// Creates a scheduler warm-started from a previously saved PTT
+    /// (see [`Ptt::save_text`] / [`Ptt::load_text`]).
+    ///
+    /// Every site in `ptt` with at least one recorded configuration starts
+    /// [`Settled`](SearchPhase::Settled) at its fastest configuration —
+    /// thread count clamped to the current partition — skipping the priming
+    /// runs, the Algorithm-1 search and the steal trial entirely. Sites not
+    /// in the table behave as with [`new`](Self::new).
+    pub fn with_warm_ptt(params: IlanParams, ptt: Ptt) -> Self {
+        let mut s = IlanScheduler::new(params);
+        s.ptt = ptt;
+        for site in s.ptt.site_ids() {
+            let Some(table) = s.ptt.site(site) else { continue };
+            let Some(best) = table.fastest() else { continue };
+            let threads = s.quantize(best.threads.min(s.m_max()));
+            let steal = best.steal;
+            let strict_best_ns = best.time.mean();
+            let next = s.hierarchical(site, threads, steal);
+            s.sites.insert(
+                site,
+                SiteState {
+                    phase: SearchPhase::Settled,
+                    next,
+                    strict_best_ns,
+                },
+            );
+        }
+        s
     }
 
     /// Read access to the Performance Trace Table.
@@ -176,7 +243,7 @@ impl IlanScheduler {
     }
 
     fn m_max(&self) -> usize {
-        self.params.topology.num_cores()
+        self.params.partition_cores()
     }
 
     /// Thread count rounded down to a positive multiple of `g`.
@@ -186,7 +253,12 @@ impl IlanScheduler {
     }
 
     fn hierarchical(&self, site: SiteId, threads: usize, steal: StealPolicy) -> Decision {
-        let mask = select_mask(&self.params.topology, self.ptt.site(site), threads);
+        let mask = select_mask_within(
+            &self.params.topology,
+            self.params.allowed_mask,
+            self.ptt.site(site),
+            threads,
+        );
         Decision::Hierarchical {
             threads,
             mask,
@@ -324,10 +396,10 @@ impl Policy for IlanScheduler {
                 ..
             } => (*threads, *mask, *steal),
             // Reports for non-hierarchical decisions (not produced by this
-            // policy) are still recorded against the full machine.
+            // policy) are still recorded against the full partition.
             _ => (
                 self.m_max(),
-                self.params.topology.all_nodes(),
+                self.params.allowed_mask,
                 StealPolicy::Strict,
             ),
         };
@@ -528,6 +600,108 @@ mod tests {
             ..IlanParams::for_topology(&presets::tiny_2x4())
         };
         IlanScheduler::new(p);
+    }
+
+    #[test]
+    fn warm_ptt_skips_search() {
+        // Run a cold scheduler to Settled, then warm-start a fresh one from
+        // its PTT: the first decision must already be the settled one.
+        let mut cold = scheduler();
+        round(&mut cold, 100.0);
+        round(&mut cold, 60.0);
+        round(&mut cold, 40.0);
+        round(&mut cold, 45.0);
+        let trial = cold.decide(SITE);
+        cold.record(SITE, &trial, &TaskloopReport::synthetic(44.0, 8));
+        assert_eq!(cold.phase(SITE), SearchPhase::Settled);
+        let settled = cold.settled_decision(SITE).unwrap().clone();
+
+        let warm = IlanScheduler::with_warm_ptt(
+            IlanParams::for_topology(&presets::epyc_9354_2s()),
+            cold.ptt().clone(),
+        );
+        assert_eq!(warm.phase(SITE), SearchPhase::Settled);
+        let d = warm.settled_decision(SITE).unwrap();
+        assert_eq!(d.threads(), settled.threads());
+        // Unknown sites still search from scratch.
+        assert_eq!(warm.phase(SiteId::new(99)), SearchPhase::Searching);
+    }
+
+    #[test]
+    fn warm_ptt_round_trips_through_text() {
+        let mut cold = scheduler();
+        round(&mut cold, 100.0);
+        round(&mut cold, 60.0);
+        round(&mut cold, 40.0);
+        round(&mut cold, 45.0);
+        let trial = cold.decide(SITE);
+        cold.record(SITE, &trial, &TaskloopReport::synthetic(44.0, 8));
+        let text = cold.ptt().save_text();
+        let warm = IlanScheduler::with_warm_ptt(
+            IlanParams::for_topology(&presets::epyc_9354_2s()),
+            crate::ptt::Ptt::load_text(&text).unwrap(),
+        );
+        assert_eq!(warm.phase(SITE), SearchPhase::Settled);
+        assert_eq!(
+            warm.settled_decision(SITE).unwrap().threads(),
+            cold.settled_decision(SITE).unwrap().threads()
+        );
+    }
+
+    #[test]
+    fn warm_ptt_clamps_to_partition() {
+        // The warm table settled at 64 threads on the full machine; a warm
+        // scheduler confined to one socket must clamp to 32.
+        let topo = presets::epyc_9354_2s();
+        let mut cold = IlanScheduler::new(IlanParams::no_moldability(&topo));
+        let d = cold.decide(SITE);
+        cold.record(SITE, &d, &TaskloopReport::synthetic(100.0, 64));
+        let trial = cold.decide(SITE);
+        cold.record(SITE, &trial, &TaskloopReport::synthetic(90.0, 64));
+        assert_eq!(cold.settled_decision(SITE).unwrap().threads(), Some(64));
+
+        let socket1 = ilan_topology::NodeMask::from_bits(0b1111_0000);
+        let warm = IlanScheduler::with_warm_ptt(
+            IlanParams::for_topology(&topo).restrict_to(socket1),
+            cold.ptt().clone(),
+        );
+        let d = warm.settled_decision(SITE).unwrap();
+        assert_eq!(d.threads(), Some(32));
+        assert!(d.mask().unwrap().is_subset(socket1));
+    }
+
+    #[test]
+    fn restricted_scheduler_stays_in_partition() {
+        let topo = presets::epyc_9354_2s();
+        let socket1 = ilan_topology::NodeMask::from_bits(0b1111_0000);
+        let mut s =
+            IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
+        // Drive it through a full search with synthetic times; every decision
+        // must stay inside the partition.
+        for time in [100.0, 60.0, 40.0, 45.0, 44.0, 43.0, 42.0] {
+            let d = s.decide(SITE);
+            let threads = d.threads().unwrap();
+            assert!(threads <= 32, "threads {threads} exceed partition");
+            assert!(
+                d.mask().unwrap().is_subset(socket1),
+                "mask {:?} escapes partition",
+                d.mask().unwrap()
+            );
+            s.record(SITE, &d, &TaskloopReport::synthetic(time, threads));
+        }
+        // Priming starts at the partition size, not the machine size.
+        let mut s2 =
+            IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
+        assert_eq!(s2.decide(SiteId::new(5)).threads(), Some(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn rejects_empty_partition() {
+        let topo = presets::tiny_2x4();
+        IlanScheduler::new(
+            IlanParams::for_topology(&topo).restrict_to(ilan_topology::NodeMask::EMPTY),
+        );
     }
 
     #[test]

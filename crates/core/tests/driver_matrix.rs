@@ -3,7 +3,7 @@
 //! report consistent numbers.
 
 use ilan::driver::{active_cores, build_plan, run_sim_invocation};
-use ilan::{Decision, FixedPolicy, Policy, SiteId, StealPolicy};
+use ilan::{Decision, FixedPolicy, SiteId, StealPolicy};
 use ilan_numasim::{Locality, MachineParams, SimMachine, TaskSpec};
 use ilan_topology::{presets, NodeId, NodeMask, Topology};
 

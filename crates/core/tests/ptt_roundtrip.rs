@@ -1,0 +1,111 @@
+//! Property test: PTT text persistence is lossless for the queries the
+//! scheduler asks — for arbitrary recorded histories, save → load preserves
+//! every site's `fastest()`, `second_fastest()` and `invocations()` (and,
+//! since floats round-trip exactly, the means themselves).
+
+use ilan::ptt::{ConfigEntry, Ptt};
+use ilan::{SiteId, StealPolicy, TaskloopReport};
+use ilan_topology::NodeMask;
+use proptest::prelude::*;
+
+/// One recorded invocation, as drawn by proptest.
+#[derive(Clone, Debug)]
+struct Rec {
+    site: u64,
+    threads: usize,
+    mask_bits: u64,
+    full_steal: bool,
+    time_ns: f64,
+    node_speed: Vec<f64>,
+}
+
+fn rec_strategy() -> impl Strategy<Value = Rec> {
+    (
+        0u64..5,
+        1usize..=64,
+        1u64..256,
+        any::<bool>(),
+        1.0f64..1e9,
+        proptest::collection::vec(0.0f64..1.0, 0..8),
+    )
+        .prop_map(
+            |(site, threads, mask_bits, full_steal, time_ns, node_speed)| Rec {
+                site,
+                threads,
+                mask_bits,
+                full_steal,
+                time_ns,
+                node_speed,
+            },
+        )
+}
+
+fn build(recs: &[Rec]) -> Ptt {
+    let mut ptt = Ptt::new();
+    for r in recs {
+        let report = TaskloopReport {
+            node_speed: r.node_speed.clone(),
+            ..TaskloopReport::synthetic(r.time_ns, r.threads)
+        };
+        let steal = if r.full_steal {
+            StealPolicy::Full
+        } else {
+            StealPolicy::Strict
+        };
+        ptt.record(
+            SiteId::new(r.site),
+            r.threads,
+            NodeMask::from_bits(r.mask_bits),
+            steal,
+            &report,
+        );
+    }
+    ptt
+}
+
+fn entry_key(e: Option<&ConfigEntry>) -> Option<(usize, StealPolicy, u64, f64, u64)> {
+    e.map(|e| (e.threads, e.steal, e.mask.bits(), e.time.mean(), e.time.count()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn save_load_preserves_scheduler_queries(
+        recs in proptest::collection::vec(rec_strategy(), 1..60),
+    ) {
+        let original = build(&recs);
+        let text = original.save_text();
+        let loaded = Ptt::load_text(&text).expect("own output must parse");
+
+        prop_assert_eq!(original.num_sites(), loaded.num_sites());
+        prop_assert_eq!(original.site_ids(), loaded.site_ids());
+        for site in original.site_ids() {
+            prop_assert_eq!(
+                original.invocations(site),
+                loaded.invocations(site),
+                "invocations differ at site {:?}",
+                site
+            );
+            let a = original.site(site).expect("listed site exists");
+            let b = loaded.site(site).expect("listed site exists");
+            prop_assert_eq!(
+                entry_key(a.fastest()),
+                entry_key(b.fastest()),
+                "fastest differs at site {:?}",
+                site
+            );
+            prop_assert_eq!(
+                entry_key(a.second_fastest()),
+                entry_key(b.second_fastest()),
+                "second_fastest differs at site {:?}",
+                site
+            );
+            prop_assert_eq!(a.fastest_node(), b.fastest_node());
+            prop_assert_eq!(a.entries().len(), b.entries().len());
+        }
+        // Saving the loaded table reproduces the text exactly (the format
+        // is canonical, so persistence is idempotent).
+        prop_assert_eq!(text, loaded.save_text());
+    }
+}

@@ -1,0 +1,731 @@
+//! Multi-tenant colocation: several concurrent taskloops on one machine.
+//!
+//! [`SimMachine`](crate::SimMachine) executes one taskloop at a time — the
+//! paper's single-application model. [`ColoMachine`] extends the same
+//! fluid-rate simulation to several *lanes* (tenants) whose loops run
+//! concurrently. All lanes share one [`CongestionField`]: the per-node
+//! memory controllers, the inter-socket links and the row-buffer stream
+//! budget are priced across every running chunk on the machine, regardless
+//! of which lane issued it. That shared field *is* the interference channel
+//! a co-scheduler must manage.
+//!
+//! Two additional mechanisms model sharing policies:
+//!
+//! * **Oversubscription** — when two lanes activate the same core, its
+//!   running chunks timeshare it: each progresses at `1/occupancy` of its
+//!   rate and issues `1/occupancy` of its DRAM traffic (a round-robin OS
+//!   scheduler in the fluid limit). Disjoint partitions have occupancy 1
+//!   and behave exactly like the single-loop engine.
+//! * **Lead time** — each loop may start with a serial lead (scheduler
+//!   decision cost plus any serial section of the tenant's program) during
+//!   which its workers are not yet active.
+//!
+//! Simplifications relative to [`SimMachine`]: no outlier windows (per-core
+//! frequency jitter still applies — it is drawn once per machine), no
+//! per-chunk tracing, and scheduling actions (pops/steals) are not slowed by
+//! oversubscription — only chunk execution is.
+//!
+//! Determinism: lanes are iterated in index order at every event, so a given
+//! machine seed and call sequence replays exactly.
+
+use crate::exec::{begin_chunk, make_workers, seek, PoolSet, Worker, WorkerState, EPS};
+use crate::outcome::{LoopOutcome, NodeOutcome};
+use crate::params::MachineParams;
+use crate::plan::PlacementPlan;
+use crate::rates::{chunk_duration, CongestionField};
+use crate::task::TaskSpec;
+use ilan_topology::{CpuSet, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// One lane's in-flight taskloop invocation.
+struct LaneRun {
+    tasks: Vec<TaskSpec>,
+    pools: PoolSet,
+    workers: Vec<Worker>,
+    node_worker_count: Vec<usize>,
+    /// Machine time when the loop was submitted.
+    started_ns: f64,
+    /// Remaining serial lead (caller-provided lead plus dispatch cost);
+    /// workers stay inactive until it reaches zero.
+    lead_remaining_ns: f64,
+    /// Remaining closing-barrier time once all chunks have completed.
+    barrier_remaining_ns: Option<f64>,
+    overhead_ns: f64,
+    nodes_out: Vec<NodeOutcome>,
+    migrations: usize,
+    rng_state: u64,
+}
+
+impl LaneRun {
+    /// Whether the lane is past its lead and still has chunks in flight.
+    fn executing(&self) -> bool {
+        self.lead_remaining_ns <= 0.0 && self.barrier_remaining_ns.is_none()
+    }
+}
+
+/// A simulated NUMA machine shared by several concurrent taskloops.
+///
+/// Lanes are created up front with [`add_lane`](Self::add_lane); a lane runs
+/// at most one loop at a time ([`start_loop`](Self::start_loop)), mirroring
+/// the one-loop-then-barrier structure of the tenants' programs. Progress is
+/// driven by [`run_until_next_completion`](Self::run_until_next_completion)
+/// or, for arrival-driven callers, [`run_until_ns`](Self::run_until_ns).
+pub struct ColoMachine {
+    params: MachineParams,
+    freqs: Vec<f64>,
+    rng: StdRng,
+    now_ns: f64,
+    lanes: Vec<Option<LaneRun>>,
+    field: CongestionField,
+    /// Scratch: number of running chunks per core, across all lanes.
+    core_load: Vec<usize>,
+    finished: VecDeque<(usize, LoopOutcome)>,
+}
+
+impl ColoMachine {
+    /// Builds a machine and draws its per-run noise (per-core frequency
+    /// factors) from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `params` fails validation.
+    pub fn new(params: MachineParams, seed: u64) -> Self {
+        params.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let freqs = params
+            .noise
+            .draw_freqs(&mut rng, params.topology.num_cores());
+        let num_nodes = params.topology.num_nodes();
+        let num_sockets = params.topology.num_sockets();
+        let num_cores = params.topology.num_cores();
+        ColoMachine {
+            params,
+            freqs,
+            rng,
+            now_ns: 0.0,
+            lanes: Vec::new(),
+            field: CongestionField::new(num_nodes, num_sockets),
+            core_load: vec![0; num_cores],
+            finished: VecDeque::new(),
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.params.topology
+    }
+
+    /// The machine's performance parameters.
+    pub fn params(&self) -> &MachineParams {
+        &self.params
+    }
+
+    /// Global simulated clock, ns.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Registers a new (idle) lane and returns its id.
+    pub fn add_lane(&mut self) -> usize {
+        self.lanes.push(None);
+        self.lanes.len() - 1
+    }
+
+    /// Whether `lane` currently has a loop in flight.
+    pub fn lane_busy(&self, lane: usize) -> bool {
+        self.lanes[lane].is_some()
+    }
+
+    /// Whether any lane has a loop in flight.
+    pub fn any_busy(&self) -> bool {
+        !self.finished.is_empty() || self.lanes.iter().any(|l| l.is_some())
+    }
+
+    /// Submits one taskloop invocation on `lane`: `lead_ns` of serial time
+    /// (decision cost + the tenant's serial section), then dispatch, then
+    /// parallel execution on `active` cores under `plan`.
+    ///
+    /// # Panics
+    /// Panics if the lane is already busy, the plan does not cover `tasks`,
+    /// or `active` is empty / outside the topology.
+    pub fn start_loop(
+        &mut self,
+        lane: usize,
+        active: &CpuSet,
+        plan: &PlacementPlan,
+        tasks: Vec<TaskSpec>,
+        lead_ns: f64,
+    ) {
+        assert!(
+            self.lanes[lane].is_none(),
+            "lane {lane} already has a loop in flight"
+        );
+        assert!(
+            lead_ns >= 0.0 && lead_ns.is_finite(),
+            "lead time must be finite and >= 0"
+        );
+        let topo = &self.params.topology;
+        let (workers, node_worker_count) = make_workers(topo, active);
+        let perm_seed: u64 = rand::Rng::random(&mut self.rng);
+        let pools = PoolSet::build(
+            plan,
+            tasks.len(),
+            &workers,
+            &node_worker_count,
+            topo.num_nodes(),
+            perm_seed,
+        );
+        let dispatch = pools.dispatch_ns(&self.params, tasks.len());
+        self.lanes[lane] = Some(LaneRun {
+            tasks,
+            pools,
+            workers,
+            node_worker_count,
+            started_ns: self.now_ns,
+            lead_remaining_ns: lead_ns + dispatch,
+            barrier_remaining_ns: None,
+            overhead_ns: dispatch,
+            nodes_out: vec![NodeOutcome::default(); topo.num_nodes()],
+            migrations: 0,
+            rng_state: perm_seed ^ 0xD1B54A32D192ED03,
+        });
+    }
+
+    /// Runs until some lane's loop completes, returning `(lane, outcome)`.
+    /// Returns `None` if no lane has a loop in flight. The outcome's
+    /// makespan spans submission (including the lead) to barrier exit.
+    pub fn run_until_next_completion(&mut self) -> Option<(usize, LoopOutcome)> {
+        self.step_until(f64::INFINITY)
+    }
+
+    /// Runs until some lane's loop completes (`Some`) or the clock reaches
+    /// `t_end` (`None`, with `now_ns() == t_end`). An idle machine jumps
+    /// straight to `t_end`.
+    ///
+    /// # Panics
+    /// Panics if `t_end` is not finite or lies in the past.
+    pub fn run_until_ns(&mut self, t_end: f64) -> Option<(usize, LoopOutcome)> {
+        assert!(t_end.is_finite(), "run_until_ns needs a finite deadline");
+        assert!(
+            t_end >= self.now_ns - EPS,
+            "deadline {t_end} is before now {}",
+            self.now_ns
+        );
+        self.step_until(t_end)
+    }
+
+    fn step_until(&mut self, t_end: f64) -> Option<(usize, LoopOutcome)> {
+        loop {
+            if let Some(done) = self.finished.pop_front() {
+                return Some(done);
+            }
+            if self.lanes.iter().all(|l| l.is_none()) {
+                if t_end.is_finite() {
+                    self.now_ns = self.now_ns.max(t_end);
+                }
+                return None;
+            }
+
+            // Let every idle worker of every executing lane acquire work
+            // (fixed point: batch steals can wake parked peers).
+            for lane in self.lanes.iter_mut().flatten() {
+                if !lane.executing() {
+                    continue;
+                }
+                loop {
+                    let mut any = false;
+                    for i in 0..lane.workers.len() {
+                        if matches!(lane.workers[i].state, WorkerState::Idle) {
+                            seek(
+                                &mut lane.pools,
+                                &mut lane.workers,
+                                i,
+                                self.now_ns,
+                                &self.params,
+                                &lane.node_worker_count,
+                                &mut lane.rng_state,
+                                &mut lane.overhead_ns,
+                                &mut lane.migrations,
+                            );
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                // Every worker parked ⇒ the lane's work phase is over: close
+                // the idle tails and enter the barrier.
+                if lane
+                    .workers
+                    .iter()
+                    .all(|w| matches!(w.state, WorkerState::Parked { .. }))
+                {
+                    assert!(
+                        lane.pools.is_empty(),
+                        "deadlock: tasks remain but every worker is parked"
+                    );
+                    for w in &lane.workers {
+                        if let WorkerState::Parked { since } = w.state {
+                            lane.overhead_ns += self.now_ns - since;
+                        }
+                    }
+                    let threads = lane.workers.len();
+                    let barrier =
+                        self.params.barrier_base_ns * (threads.max(2) as f64).log2();
+                    lane.overhead_ns += barrier;
+                    lane.barrier_remaining_ns = Some(barrier);
+                }
+            }
+
+            self.recompute_rates();
+
+            // Next event over all lanes: a lead or barrier expiring, a
+            // scheduling action finishing, or a chunk completing — capped by
+            // the caller's deadline.
+            let mut dt = t_end - self.now_ns;
+            for lane in self.lanes.iter().flatten() {
+                if lane.lead_remaining_ns > 0.0 {
+                    dt = dt.min(lane.lead_remaining_ns);
+                    continue;
+                }
+                if let Some(b) = lane.barrier_remaining_ns {
+                    dt = dt.min(b);
+                    continue;
+                }
+                for w in &lane.workers {
+                    let t = match &w.state {
+                        WorkerState::Overhead { remaining_ns, .. } => *remaining_ns,
+                        WorkerState::Running {
+                            remaining, rate, ..
+                        } if *rate > 0.0 => remaining / rate,
+                        _ => f64::INFINITY,
+                    };
+                    dt = dt.min(t);
+                }
+            }
+            assert!(
+                dt.is_finite(),
+                "colocation machine has busy lanes but no next event"
+            );
+            if dt <= 0.0 {
+                // Deadline already reached.
+                return None;
+            }
+
+            self.advance(dt);
+
+            if self.finished.is_empty() && self.now_ns >= t_end - EPS {
+                return None;
+            }
+        }
+    }
+
+    /// Recomputes core occupancy, the shared congestion field, and every
+    /// running chunk's rate across all lanes.
+    fn recompute_rates(&mut self) {
+        self.core_load.iter_mut().for_each(|c| *c = 0);
+        for lane in self.lanes.iter().flatten() {
+            if lane.lead_remaining_ns > 0.0 {
+                continue;
+            }
+            for w in &lane.workers {
+                if matches!(w.state, WorkerState::Running { .. }) {
+                    self.core_load[w.core.index()] += 1;
+                }
+            }
+        }
+
+        let topo = &self.params.topology;
+        self.field.clear();
+        for lane in self.lanes.iter().flatten() {
+            for w in &lane.workers {
+                if let WorkerState::Running {
+                    task,
+                    traffic,
+                    desired_bw,
+                    ..
+                } = &w.state
+                {
+                    let occ = self.core_load[w.core.index()].max(1) as f64;
+                    self.field.add_flow(
+                        topo,
+                        &lane.tasks[*task],
+                        w.node,
+                        traffic,
+                        *desired_bw,
+                        1.0 / occ,
+                    );
+                }
+            }
+        }
+        self.field.finalize(&self.params);
+
+        for lane in self.lanes.iter_mut().flatten() {
+            for w in &mut lane.workers {
+                let wnode = w.node;
+                let core = w.core.index();
+                if let WorkerState::Running {
+                    task,
+                    rate,
+                    traffic,
+                    ..
+                } = &mut w.state
+                {
+                    let spec = &lane.tasks[*task];
+                    let penalty = self.field.penalty(topo, wnode, traffic);
+                    let occ = self.core_load[core].max(1) as f64;
+                    let duration = chunk_duration(
+                        &self.params,
+                        spec,
+                        NodeId::new(wnode),
+                        self.freqs[core],
+                        penalty,
+                    ) * occ;
+                    *rate = if duration > 0.0 {
+                        1.0 / duration
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+        }
+    }
+
+    /// Advances simulated time by `dt`, completing whatever finishes.
+    fn advance(&mut self, dt: f64) {
+        self.now_ns += dt;
+        let core_bw = self.params.core_bw;
+        for (id, slot) in self.lanes.iter_mut().enumerate() {
+            let Some(lane) = slot else { continue };
+            if lane.lead_remaining_ns > 0.0 {
+                lane.lead_remaining_ns -= dt;
+                if lane.lead_remaining_ns <= EPS {
+                    lane.lead_remaining_ns = 0.0;
+                }
+                continue;
+            }
+            if let Some(b) = &mut lane.barrier_remaining_ns {
+                *b -= dt;
+                if *b <= EPS {
+                    let lane = slot.take().expect("lane present");
+                    self.finished.push_back((
+                        id,
+                        LoopOutcome {
+                            makespan_ns: self.now_ns - lane.started_ns,
+                            sched_overhead_ns: lane.overhead_ns,
+                            nodes: lane.nodes_out,
+                            migrations: lane.migrations,
+                            threads: lane.workers.len(),
+                            trace: Vec::new(),
+                        },
+                    ));
+                }
+                continue;
+            }
+            for w in &mut lane.workers {
+                match &mut w.state {
+                    WorkerState::Overhead { remaining_ns, next } => {
+                        *remaining_ns -= dt;
+                        if *remaining_ns <= EPS {
+                            let t = *next;
+                            w.state = begin_chunk(
+                                &self.params.topology,
+                                &self.params,
+                                w.node,
+                                t,
+                                &lane.tasks[t],
+                            );
+                        }
+                    }
+                    WorkerState::Running {
+                        task,
+                        remaining,
+                        rate,
+                        elapsed_ns,
+                        ..
+                    } => {
+                        *remaining -= *rate * dt;
+                        *elapsed_ns += dt;
+                        if *remaining <= EPS {
+                            let spec = &lane.tasks[*task];
+                            let node = &mut lane.nodes_out[w.node];
+                            node.tasks += 1;
+                            node.busy_ns += *elapsed_ns;
+                            node.ideal_ns += spec.ideal_ns(core_bw);
+                            node.dram_bytes += spec.effective_bytes(NodeId::new(w.node));
+                            if spec.home_node.index() == w.node {
+                                node.local_tasks += 1;
+                            }
+                            w.state = WorkerState::Idle;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimMachine;
+    use crate::plan::NodeAssignment;
+    use crate::task::Locality;
+    use ilan_topology::{presets, NodeMask};
+
+    fn chunked_tasks(n: usize, home: usize, compute: f64, bytes: f64) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|_| TaskSpec {
+                compute_ns: compute,
+                mem_bytes: bytes,
+                home_node: NodeId::new(home),
+                locality: Locality::Chunked,
+                data_mask: NodeMask::single(NodeId::new(home)),
+                cache_reuse: 0.0,
+                fits_l3: false,
+            })
+            .collect()
+    }
+
+    fn node_plan(tasks: usize, node: usize) -> PlacementPlan {
+        PlacementPlan::Hierarchical {
+            assignments: vec![NodeAssignment {
+                node: NodeId::new(node),
+                tasks: (0..tasks).collect(),
+                strict_count: tasks,
+            }],
+        }
+    }
+
+    fn split_plan(tasks: usize, nodes: usize) -> PlacementPlan {
+        let mut assignments = Vec::new();
+        for node in 0..nodes {
+            let ts: Vec<usize> = (0..tasks).filter(|i| i * nodes / tasks == node).collect();
+            let strict = ts.len();
+            assignments.push(NodeAssignment {
+                node: NodeId::new(node),
+                tasks: ts,
+                strict_count: strict,
+            });
+        }
+        PlacementPlan::Hierarchical { assignments }
+    }
+
+    fn both_home_tasks(n: usize, nodes: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|i| TaskSpec {
+                compute_ns: 5_000.0,
+                mem_bytes: 50_000.0,
+                home_node: NodeId::new(i * nodes / n),
+                locality: Locality::Chunked,
+                data_mask: NodeMask::first_n(nodes),
+                cache_reuse: 0.2,
+                fits_l3: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_lane_matches_single_loop_engine() {
+        // With one lane, no lead and no noise, the colocation engine must
+        // reproduce the single-loop engine's result (same state machine,
+        // same cost model; hierarchical plans are seed-independent).
+        let topo = presets::tiny_2x4();
+        let tasks = both_home_tasks(32, 2);
+        let plan = split_plan(32, 2);
+
+        let mut single = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let reference = single.run_taskloop(&cores, &plan, &tasks);
+
+        let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
+        let lane = colo.add_lane();
+        colo.start_loop(lane, &cores, &plan, tasks, 0.0);
+        let (done, out) = colo.run_until_next_completion().expect("one loop in flight");
+        assert_eq!(done, lane);
+        assert!(
+            (out.makespan_ns - reference.makespan_ns).abs() < 1e-6,
+            "colo {} vs engine {}",
+            out.makespan_ns,
+            reference.makespan_ns
+        );
+        assert!((out.sched_overhead_ns - reference.sched_overhead_ns).abs() < 1e-6);
+        assert_eq!(out.tasks_executed(), reference.tasks_executed());
+        assert_eq!(out.migrations, reference.migrations);
+        assert!(!colo.any_busy());
+    }
+
+    #[test]
+    fn remote_tenant_congests_shared_controller() {
+        // Lane A runs bandwidth-heavy chunks homed on node 0 from node-0
+        // cores. Lane B runs on node-1 cores but its data also lives on
+        // node 0: its traffic crosses into node 0's controller. A must get
+        // slower when B co-runs — the shared interference channel.
+        let topo = presets::tiny_2x4();
+        let cores0 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(0)));
+        let cores1 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(1)));
+        let a_tasks = || chunked_tasks(64, 0, 500.0, 800_000.0);
+        // B's chunks are homed on node 0 (its data lives there) but a plan
+        // pins their execution to node 1: all of B's traffic is remote.
+        let b_plan = node_plan(64, 1);
+        let b_tasks = || chunked_tasks(64, 0, 500.0, 800_000.0);
+
+        let t_alone = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), a_tasks(), 0.0);
+            colo.run_until_next_completion().unwrap().1.makespan_ns
+        };
+        let t_shared = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            let b = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), a_tasks(), 0.0);
+            colo.start_loop(b, &cores1, &b_plan, b_tasks(), 0.0);
+            loop {
+                let (lane, out) = colo.run_until_next_completion().unwrap();
+                if lane == a {
+                    break out.makespan_ns;
+                }
+            }
+        };
+        assert!(
+            t_shared > 1.2 * t_alone,
+            "co-runner on the same controller must slow lane A: alone={t_alone} shared={t_shared}"
+        );
+    }
+
+    #[test]
+    fn disjoint_partitions_do_not_interfere() {
+        // Same co-runner, but B's data and execution are fully on node 1:
+        // no shared controller, no shared link, no shared cores ⇒ lane A is
+        // unaffected (tiny tolerance for float noise).
+        let topo = presets::tiny_2x4();
+        let cores0 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(0)));
+        let cores1 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(1)));
+
+        let t_alone = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), chunked_tasks(64, 0, 500.0, 800_000.0), 0.0);
+            colo.run_until_next_completion().unwrap().1.makespan_ns
+        };
+        let t_partitioned = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            let b = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), chunked_tasks(64, 0, 500.0, 800_000.0), 0.0);
+            colo.start_loop(b, &cores1, &node_plan(64, 1), chunked_tasks(64, 1, 500.0, 800_000.0), 0.0);
+            loop {
+                let (lane, out) = colo.run_until_next_completion().unwrap();
+                if lane == a {
+                    break out.makespan_ns;
+                }
+            }
+        };
+        assert!(
+            (t_partitioned - t_alone).abs() < 1e-6 * t_alone,
+            "disjoint partitions must isolate: alone={t_alone} partitioned={t_partitioned}"
+        );
+    }
+
+    #[test]
+    fn oversubscribed_cores_timeshare() {
+        // Two compute-bound lanes on the same cores: each runs at roughly
+        // half speed, so the pair takes roughly twice as long as one alone.
+        let topo = presets::tiny_2x4();
+        let cores0 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(0)));
+        let work = || chunked_tasks(64, 0, 200_000.0, 1_000.0);
+
+        let t_alone = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), work(), 0.0);
+            colo.run_until_next_completion().unwrap().1.makespan_ns
+        };
+        let t_both = {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let a = colo.add_lane();
+            let b = colo.add_lane();
+            colo.start_loop(a, &cores0, &node_plan(64, 0), work(), 0.0);
+            colo.start_loop(b, &cores0, &node_plan(64, 0), work(), 0.0);
+            let mut last = 0.0f64;
+            while let Some((_, out)) = colo.run_until_next_completion() {
+                last = last.max(out.makespan_ns);
+            }
+            last
+        };
+        assert!(
+            t_both > 1.6 * t_alone && t_both < 2.4 * t_alone,
+            "timesharing should roughly double the makespan: alone={t_alone} both={t_both}"
+        );
+    }
+
+    #[test]
+    fn lead_time_delays_execution() {
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let run = |lead: f64| {
+            let mut colo =
+                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
+            let a = colo.add_lane();
+            colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), lead);
+            colo.run_until_next_completion().unwrap().1.makespan_ns
+        };
+        let base = run(0.0);
+        let delayed = run(50_000.0);
+        assert!(
+            (delayed - base - 50_000.0).abs() < 1e-6,
+            "lead must shift completion 1:1: base={base} delayed={delayed}"
+        );
+    }
+
+    #[test]
+    fn run_until_deadline_stops_short() {
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
+        let a = colo.add_lane();
+        colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), 0.0);
+        // A deadline far before completion: no outcome, clock at deadline.
+        assert!(colo.run_until_ns(10.0).is_none());
+        assert!((colo.now_ns() - 10.0).abs() < 1e-9);
+        assert!(colo.lane_busy(a));
+        // Finish it.
+        let (lane, _) = colo.run_until_next_completion().unwrap();
+        assert_eq!(lane, a);
+        // Idle machine jumps to the deadline.
+        let t = colo.now_ns() + 500.0;
+        assert!(colo.run_until_ns(t).is_none());
+        assert!((colo.now_ns() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let replay = |seed: u64| {
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo), seed);
+            let a = colo.add_lane();
+            let b = colo.add_lane();
+            colo.start_loop(a, &cores, &PlacementPlan::flat(), both_home_tasks(40, 2), 0.0);
+            colo.start_loop(b, &cores, &PlacementPlan::flat(), both_home_tasks(24, 2), 1_000.0);
+            let mut trace = Vec::new();
+            while let Some((lane, out)) = colo.run_until_next_completion() {
+                trace.push((lane, out.makespan_ns, colo.now_ns()));
+            }
+            trace
+        };
+        assert_eq!(replay(11), replay(11));
+        assert_ne!(replay(11), replay(12), "seed must matter under noise");
+    }
+}

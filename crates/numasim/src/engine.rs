@@ -11,103 +11,18 @@
 //! selection and tie-breaking are all fixed. Run-to-run variance enters only
 //! through the per-run frequency factors and outlier windows drawn by
 //! [`SimMachine`](crate::SimMachine) from its seed.
+//!
+//! The worker/pool state machine lives in [`exec`](crate::exec) and the cost
+//! model in [`rates`](crate::rates), both shared with the multi-lane
+//! colocation engine ([`ColoMachine`](crate::ColoMachine)).
 
+use crate::exec::{begin_chunk, make_workers, seek, PoolSet, Worker, WorkerState, EPS};
 use crate::outcome::{LoopOutcome, NodeOutcome, TaskRecord};
 use crate::params::MachineParams;
 use crate::plan::PlacementPlan;
+use crate::rates::{chunk_duration, CongestionField};
 use crate::task::TaskSpec;
-use ilan_topology::{CoreId, CpuSet, NodeId};
-use std::collections::VecDeque;
-
-/// Numerical slack for "remaining work is zero" tests.
-const EPS: f64 = 1e-9;
-
-/// One per-node task pool of a hierarchical plan.
-struct NodePool {
-    /// Chunk indices in execution order. Strict chunks are at the front.
-    queue: VecDeque<usize>,
-    /// How many chunks at the front of `queue` are NUMA-strict.
-    strict_remaining: usize,
-}
-
-impl NodePool {
-    fn stealable(&self) -> usize {
-        self.queue.len().saturating_sub(self.strict_remaining)
-    }
-
-    fn pop(&mut self) -> Option<usize> {
-        let t = self.queue.pop_front()?;
-        self.strict_remaining = self.strict_remaining.saturating_sub(1);
-        Some(t)
-    }
-
-    /// Removes up to half of the stealable tail (at least one), returning the
-    /// stolen chunk indices in order.
-    fn steal_batch(&mut self) -> Vec<usize> {
-        let stealable = self.stealable();
-        if stealable == 0 {
-            return Vec::new();
-        }
-        let k = (stealable / 2).max(1);
-        let split = self.queue.len() - k;
-        self.queue.split_off(split).into()
-    }
-}
-
-enum PoolSet {
-    /// LLVM-default tasking: recursive taskloop splitting hands each worker
-    /// a contiguous block of chunks at a pseudo-random position (placement is
-    /// effectively random w.r.t. data homes), and idle workers steal half a
-    /// victim's remaining deque, like `splittable` taskloop tasks.
-    Flat(Vec<VecDeque<usize>>),
-    Hier(Vec<NodePool>),
-    Static(Vec<VecDeque<usize>>),
-}
-
-/// SplitMix64 — deterministic per-invocation randomness for the flat
-/// baseline's block permutation and victim order.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-#[derive(Clone, Debug)]
-enum WorkerState {
-    /// Needs to acquire work at the current time.
-    Idle,
-    /// Performing a scheduling action (pop / steal), then starts `next`.
-    Overhead { remaining_ns: f64, next: usize },
-    /// Executing chunk `task`.
-    Running {
-        task: usize,
-        /// Fraction of the chunk still to execute, in `[0, 1]`.
-        remaining: f64,
-        /// Progress per ns under the current machine state.
-        rate: f64,
-        /// Precomputed `(node, traffic_fraction, latency_factor)` rows.
-        traffic: Vec<(usize, f64, f64)>,
-        /// Desired DRAM bandwidth if uncontended, bytes/ns.
-        desired_bw: f64,
-        /// Wall time spent on this chunk so far.
-        elapsed_ns: f64,
-    },
-    /// No work is reachable for this worker; it spins in the scheduler's
-    /// idle loop until the taskloop completes (that waiting is scheduler
-    /// time — LLVM's baseline burns it in `__kmp_execute_tasks`).
-    Parked {
-        /// When the worker entered the idle loop.
-        since: f64,
-    },
-}
-
-struct Worker {
-    core: CoreId,
-    node: usize,
-    state: WorkerState,
-}
+use ilan_topology::{CpuSet, NodeId};
 
 pub(crate) struct Engine<'a> {
     params: &'a MachineParams,
@@ -122,15 +37,10 @@ pub(crate) struct Engine<'a> {
     overhead_ns: f64,
     nodes_out: Vec<NodeOutcome>,
     migrations: usize,
-    /// Scratch: per-node DRAM demand, bytes/ns.
-    demand: Vec<f64>,
-    /// Scratch: per socket-pair link demand (row-major `s × s`, only `i<j`
-    /// entries used).
-    link_demand: Vec<f64>,
+    /// Shared congestion state, recomputed at every event.
+    field: CongestionField,
     /// Per-invocation randomness for flat-mode victim selection.
     rng_state: u64,
-    /// Scratch: per-node streaming-flow weight (row-buffer interference).
-    streams: Vec<f64>,
     /// Per-chunk execution records (empty unless tracing).
     trace: Option<Vec<TaskRecord>>,
 }
@@ -147,85 +57,16 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let topo = &params.topology;
         let num_nodes = topo.num_nodes();
-        plan.validate(tasks.len());
-        assert!(
-            !active.is_empty(),
-            "taskloop needs at least one active core"
+        let (workers, node_worker_count) = make_workers(topo, active);
+        let pools = PoolSet::build(
+            plan,
+            tasks.len(),
+            &workers,
+            &node_worker_count,
+            num_nodes,
+            perm_seed,
         );
 
-        let workers: Vec<Worker> = active
-            .iter()
-            .map(|core| {
-                assert!(
-                    core.index() < topo.num_cores(),
-                    "active core {core} outside topology"
-                );
-                Worker {
-                    core,
-                    node: topo.node_of_core(core).index(),
-                    state: WorkerState::Idle,
-                }
-            })
-            .collect();
-
-        let mut node_worker_count = vec![0usize; num_nodes];
-        for w in &workers {
-            node_worker_count[w.node] += 1;
-        }
-
-        let pools = match plan {
-            PlacementPlan::Flat => {
-                // Contiguous blocks (taskloop splitting) assigned to workers
-                // by a seeded permutation (random initial placement).
-                let w = workers.len();
-                let mut order: Vec<usize> = (0..w).collect();
-                let mut st = perm_seed;
-                for i in (1..w).rev() {
-                    let j = (splitmix64(&mut st) as usize) % (i + 1);
-                    order.swap(i, j);
-                }
-                let mut per_worker: Vec<VecDeque<usize>> =
-                    (0..w).map(|_| VecDeque::new()).collect();
-                for (slot, &wi) in order.iter().enumerate() {
-                    let lo = slot * tasks.len() / w;
-                    let hi = (slot + 1) * tasks.len() / w;
-                    per_worker[wi].extend(lo..hi);
-                }
-                PoolSet::Flat(per_worker)
-            }
-            PlacementPlan::Hierarchical { assignments } => {
-                let mut per_node: Vec<NodePool> = (0..num_nodes)
-                    .map(|_| NodePool {
-                        queue: VecDeque::new(),
-                        strict_remaining: 0,
-                    })
-                    .collect();
-                for a in assignments {
-                    let pool = &mut per_node[a.node.index()];
-                    assert!(
-                        a.tasks.is_empty() || node_worker_count[a.node.index()] > 0,
-                        "plan assigns tasks to {} but no active core lives there",
-                        a.node
-                    );
-                    pool.queue.extend(a.tasks.iter().copied());
-                    pool.strict_remaining += a.strict_count;
-                }
-                PoolSet::Hier(per_node)
-            }
-            PlacementPlan::Static => {
-                let w = workers.len();
-                let mut per_worker: Vec<VecDeque<usize>> =
-                    (0..w).map(|_| VecDeque::new()).collect();
-                for (i, q) in per_worker.iter_mut().enumerate() {
-                    let lo = i * tasks.len() / w;
-                    let hi = (i + 1) * tasks.len() / w;
-                    q.extend(lo..hi);
-                }
-                PoolSet::Static(per_worker)
-            }
-        };
-
-        let num_sockets = topo.num_sockets();
         Engine {
             params,
             freqs,
@@ -238,10 +79,8 @@ impl<'a> Engine<'a> {
             overhead_ns: 0.0,
             nodes_out: vec![NodeOutcome::default(); num_nodes],
             migrations: 0,
-            demand: vec![0.0; num_nodes],
-            link_demand: vec![0.0; num_sockets * num_sockets],
+            field: CongestionField::new(num_nodes, topo.num_sockets()),
             rng_state: perm_seed ^ 0xD1B54A32D192ED03,
-            streams: vec![0.0; num_nodes],
             trace: None,
         }
     }
@@ -252,12 +91,8 @@ impl<'a> Engine<'a> {
     }
 
     pub(crate) fn run(mut self) -> LoopOutcome {
-        // Serial dispatch by the encountering thread. Work-sharing creates no
-        // task objects: each worker just computes its slice bounds.
-        let dispatch = match &self.pools {
-            PoolSet::Static(_) => self.params.static_chunk_ns * self.workers.len() as f64,
-            _ => self.params.task_create_ns * self.tasks.len() as f64,
-        };
+        // Serial dispatch by the encountering thread.
+        let dispatch = self.pools.dispatch_ns(self.params, self.tasks.len());
         self.now += dispatch;
         self.overhead_ns += dispatch;
 
@@ -268,7 +103,17 @@ impl<'a> Engine<'a> {
                 let mut any = false;
                 for i in 0..self.workers.len() {
                     if matches!(self.workers[i].state, WorkerState::Idle) {
-                        self.seek(i);
+                        seek(
+                            &mut self.pools,
+                            &mut self.workers,
+                            i,
+                            self.now,
+                            self.params,
+                            &self.node_worker_count,
+                            &mut self.rng_state,
+                            &mut self.overhead_ns,
+                            &mut self.migrations,
+                        );
                         any = true;
                     }
                 }
@@ -297,7 +142,7 @@ impl<'a> Engine<'a> {
                 // strict tasks on nodes without active workers (a scheduler
                 // bug — plan validation should have caught it).
                 assert!(
-                    self.pools_empty(),
+                    self.pools.is_empty(),
                     "deadlock: tasks remain but every worker is parked"
                 );
                 break;
@@ -330,121 +175,10 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn pools_empty(&self) -> bool {
-        match &self.pools {
-            PoolSet::Flat(qs) => qs.iter().all(|q| q.is_empty()),
-            PoolSet::Hier(ps) => ps.iter().all(|p| p.queue.is_empty()),
-            PoolSet::Static(qs) => qs.iter().all(|q| q.is_empty()),
-        }
-    }
-
-    /// Worker `i` (currently Idle) tries to acquire a chunk.
-    fn seek(&mut self, i: usize) {
-        let node = self.workers[i].node;
-        let (task, cost) = match &mut self.pools {
-            PoolSet::Flat(qs) => {
-                if let Some(t) = qs[i].pop_front() {
-                    (Some(t), self.params.pop_cost_ns)
-                } else {
-                    // Steal half of a pseudo-random victim's deque —
-                    // NUMA-oblivious, like the default LLVM scheduler.
-                    let w = qs.len();
-                    let start = (splitmix64(&mut self.rng_state) as usize) % w;
-                    let victim = (0..w)
-                        .map(|k| (start + k) % w)
-                        .find(|&v| v != i && !qs[v].is_empty());
-                    match victim {
-                        Some(v) => {
-                            let keep = qs[v].len() / 2;
-                            let batch = qs[v].split_off(keep);
-                            let cross = self.workers[v].node != node;
-                            if cross {
-                                self.migrations += batch.len();
-                            }
-                            qs[i] = batch;
-                            let t = qs[i].pop_front().expect("stolen batch non-empty");
-                            let cost = if cross {
-                                self.params.remote_steal_cost_ns
-                            } else {
-                                self.params.pop_cost_ns + self.params.pop_contention_ns
-                            };
-                            (Some(t), cost)
-                        }
-                        None => (None, self.params.failed_steal_cost_ns),
-                    }
-                }
-            }
-            PoolSet::Hier(pools) => {
-                if let Some(t) = pools[node].pop() {
-                    let sharers = self.node_worker_count[node];
-                    (
-                        Some(t),
-                        self.params.pop_cost_ns
-                            + self.params.pop_contention_ns * sharers.saturating_sub(1) as f64,
-                    )
-                } else {
-                    // Own node exhausted: the node is "fully idle" in the
-                    // paper's sense, so inter-node stealing of the stealable
-                    // tail is permitted. Victim: most stealable work, ties to
-                    // the lowest node id.
-                    let victim = (0..pools.len())
-                        .filter(|&n| n != node && pools[n].stealable() > 0)
-                        .max_by_key(|&n| (pools[n].stealable(), usize::MAX - n));
-                    match victim {
-                        Some(v) => {
-                            let batch = pools[v].steal_batch();
-                            self.migrations += batch.len();
-                            let pool = &mut pools[node];
-                            // Stolen chunks arrive unstrict: they may move on.
-                            pool.queue.extend(batch);
-                            let t = pool.pop().expect("batch steal is non-empty");
-                            // Wake parked peers on this node: new work exists.
-                            let now = self.now;
-                            for (j, w) in self.workers.iter_mut().enumerate() {
-                                if let WorkerState::Parked { since } = w.state {
-                                    if j != i && w.node == node {
-                                        self.overhead_ns += now - since;
-                                        w.state = WorkerState::Idle;
-                                    }
-                                }
-                            }
-                            (
-                                Some(t),
-                                self.params.remote_steal_cost_ns + self.params.pop_cost_ns,
-                            )
-                        }
-                        None => (None, self.params.failed_steal_cost_ns),
-                    }
-                }
-            }
-            PoolSet::Static(qs) => match qs[i].pop_front() {
-                Some(t) => (Some(t), self.params.static_chunk_ns),
-                None => (None, 0.0),
-            },
-        };
-
-        match task {
-            Some(t) => {
-                self.overhead_ns += cost;
-                self.workers[i].state = WorkerState::Overhead {
-                    remaining_ns: cost,
-                    next: t,
-                };
-            }
-            None => {
-                self.overhead_ns += cost;
-                self.workers[i].state = WorkerState::Parked { since: self.now };
-            }
-        }
-    }
-
     /// Recomputes demands, congestion factors and every running chunk's rate.
     fn recompute_rates(&mut self) {
         let topo = &self.params.topology;
-        self.demand.iter_mut().for_each(|d| *d = 0.0);
-        self.link_demand.iter_mut().for_each(|d| *d = 0.0);
-        self.streams.iter_mut().for_each(|d| *d = 0.0);
-        let ns = topo.num_sockets();
+        self.field.clear();
 
         // Pass 1: aggregate desired bandwidth per memory controller and link,
         // plus the streaming-flow count per controller (row-buffer model).
@@ -456,50 +190,13 @@ impl<'a> Engine<'a> {
                 ..
             } = &w.state
             {
-                let stream_weight = match self.tasks[*task].locality {
-                    crate::task::Locality::Chunked => 1.0,
-                    crate::task::Locality::Scattered { spread } => 1.0 - spread,
-                };
-                self.streams[self.tasks[*task].home_node.index()] += stream_weight;
-                let s_from = topo.socket_of_node(NodeId::new(w.node)).index();
-                for &(k, frac, _) in traffic {
-                    let bw = desired_bw * frac;
-                    self.demand[k] += bw;
-                    let s_to = topo.socket_of_node(NodeId::new(k)).index();
-                    if s_from != s_to {
-                        let (a, b) = (s_from.min(s_to), s_from.max(s_to));
-                        self.link_demand[a * ns + b] += bw;
-                    }
-                }
+                self.field
+                    .add_flow(topo, &self.tasks[*task], w.node, traffic, *desired_bw, 1.0);
             }
         }
 
         // Pass 2: congestion factor per resource.
-        let beta = self.params.overload_beta;
-        let cong = |demand: f64, bw: f64| -> f64 {
-            let util = demand / bw;
-            if util <= 1.0 {
-                1.0
-            } else {
-                util * (1.0 + beta * (util - 1.0))
-            }
-        };
-        let kappa = self.params.stream_kappa;
-        let base = self.params.stream_base;
-        let node_cong: Vec<f64> = self
-            .demand
-            .iter()
-            .zip(&self.streams)
-            .map(|(&d, &st)| {
-                let stream_factor = 1.0 + kappa * (st - base).max(0.0);
-                cong(d, self.params.node_bw) * stream_factor
-            })
-            .collect();
-        let link_cong: Vec<f64> = self
-            .link_demand
-            .iter()
-            .map(|&d| cong(d, self.params.link_bw))
-            .collect();
+        self.field.finalize(self.params);
 
         // Pass 3: per-chunk rates.
         for w in &mut self.workers {
@@ -513,22 +210,14 @@ impl<'a> Engine<'a> {
             } = &mut w.state
             {
                 let spec = &self.tasks[*task];
-                let exec_node = NodeId::new(wnode);
-                let s_from = topo.socket_of_node(exec_node).index();
-                let mut penalty = 0.0;
-                for &(k, frac, lat) in traffic.iter() {
-                    let s_to = topo.socket_of_node(NodeId::new(k)).index();
-                    let mut c = node_cong[k];
-                    if s_from != s_to {
-                        let (a, b) = (s_from.min(s_to), s_from.max(s_to));
-                        c = c.max(link_cong[a * ns + b]);
-                    }
-                    penalty += frac * lat * c;
-                }
-                let freq = self.freqs[core];
-                let compute = spec.compute_ns / freq;
-                let mem = spec.effective_bytes(exec_node) / self.params.core_bw * penalty.max(1.0);
-                let mut duration = compute + mem;
+                let penalty = self.field.penalty(topo, wnode, traffic);
+                let mut duration = chunk_duration(
+                    self.params,
+                    spec,
+                    NodeId::new(wnode),
+                    self.freqs[core],
+                    penalty,
+                );
                 if Some(wnode) == self.outlier_node {
                     duration /= self.params.noise.outlier_factor;
                 }
@@ -552,41 +241,13 @@ impl<'a> Engine<'a> {
                     *remaining_ns -= dt;
                     if *remaining_ns <= EPS {
                         let t = *next;
-                        let spec = &self.tasks[t];
-                        let exec_node = NodeId::new(w.node);
-                        let topo = &self.params.topology;
-                        let sens = spec.locality.latency_sensitivity();
-                        let mut traffic = Vec::with_capacity(4);
-                        for k in 0..topo.num_nodes() {
-                            let frac = spec.locality.traffic_fraction(
-                                spec.home_node,
-                                spec.data_mask,
-                                NodeId::new(k),
-                            );
-                            if frac > 0.0 {
-                                let lat = 1.0
-                                    + sens
-                                        * (topo
-                                            .distances()
-                                            .latency_factor(exec_node, NodeId::new(k))
-                                            - 1.0);
-                                traffic.push((k, frac, lat));
-                            }
-                        }
-                        let ideal = spec.ideal_ns(core_bw);
-                        let desired_bw = if ideal > 0.0 {
-                            spec.effective_bytes(exec_node) / ideal
-                        } else {
-                            0.0
-                        };
-                        w.state = WorkerState::Running {
-                            task: t,
-                            remaining: 1.0,
-                            rate: 0.0,
-                            traffic,
-                            desired_bw,
-                            elapsed_ns: 0.0,
-                        };
+                        w.state = begin_chunk(
+                            &self.params.topology,
+                            self.params,
+                            w.node,
+                            t,
+                            &self.tasks[t],
+                        );
                     }
                 }
                 WorkerState::Running {
@@ -627,11 +288,11 @@ impl<'a> Engine<'a> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::machine::SimMachine;
-    use crate::plan::NodeAssignment;
-    use crate::task::Locality;
-    use ilan_topology::{presets, NodeMask};
+    use crate::params::MachineParams;
+    use crate::plan::{NodeAssignment, PlacementPlan};
+    use crate::task::{Locality, TaskSpec};
+    use ilan_topology::{presets, CoreId, CpuSet, NodeId, NodeMask};
 
     fn uniform_tasks(n: usize, nodes: usize, per_node_bytes: f64) -> Vec<TaskSpec> {
         (0..n)

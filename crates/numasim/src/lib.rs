@@ -66,14 +66,18 @@
 
 #![warn(missing_docs)]
 
+mod colo;
 mod engine;
+mod exec;
 mod machine;
 mod noise;
 mod outcome;
 mod params;
 mod plan;
+mod rates;
 mod task;
 
+pub use colo::ColoMachine;
 pub use machine::SimMachine;
 pub use noise::NoiseParams;
 pub use outcome::{LoopOutcome, NodeOutcome};

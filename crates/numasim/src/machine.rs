@@ -216,8 +216,14 @@ mod tests {
             m.run_taskloop(&cores, &PlacementPlan::flat(), &tasks(32))
                 .locality_fraction()
         };
-        // Different permutations land different chunks locally.
-        assert_ne!(run(1), run(2));
+        // Different permutations land different chunks locally. Any two
+        // particular seeds may collide on the locality statistic (distinct
+        // permutations often tie), so assert variation across a seed set.
+        let fractions: Vec<f64> = (1..=16).map(run).collect();
+        assert!(
+            fractions.iter().any(|&f| f != fractions[0]),
+            "flat placement ignored the seed: {fractions:?}"
+        );
     }
 
     #[test]

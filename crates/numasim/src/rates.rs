@@ -1,0 +1,195 @@
+//! The shared cost model: traffic shaping, congestion and chunk durations.
+//!
+//! Every engine in this crate prices a running chunk the same way:
+//!
+//! 1. its DRAM traffic is split into per-node rows `(node, fraction,
+//!    latency_factor)` from the task's [`Locality`](crate::Locality);
+//! 2. all concurrently running chunks' desired bandwidths are aggregated
+//!    into a [`CongestionField`] (per-controller demand, per-socket-pair
+//!    link demand, per-controller streaming-flow count);
+//! 3. each chunk's memory time is inflated by the field's congestion
+//!    factors along its traffic rows.
+//!
+//! Keeping these three steps here means the single-loop engine and the
+//! multi-lane colocation engine by construction share one interference
+//! channel — a chunk slows down identically whether its competitor belongs
+//! to the same taskloop or to another tenant's.
+
+use crate::params::MachineParams;
+use crate::task::TaskSpec;
+use ilan_topology::{NodeId, Topology};
+
+/// Builds the per-node traffic rows `(node, fraction, latency_factor)` for a
+/// chunk executing on `exec_node`. The latency factor damps the topology
+/// distance by the access pattern's latency sensitivity (prefetchers hide
+/// part of the latency for streaming access).
+pub(crate) fn traffic_rows(
+    topo: &Topology,
+    spec: &TaskSpec,
+    exec_node: NodeId,
+) -> Vec<(usize, f64, f64)> {
+    let sens = spec.locality.latency_sensitivity();
+    let mut traffic = Vec::with_capacity(4);
+    for k in 0..topo.num_nodes() {
+        let frac = spec
+            .locality
+            .traffic_fraction(spec.home_node, spec.data_mask, NodeId::new(k));
+        if frac > 0.0 {
+            let lat = 1.0
+                + sens
+                    * (topo
+                        .distances()
+                        .latency_factor(exec_node, NodeId::new(k))
+                        - 1.0);
+            traffic.push((k, frac, lat));
+        }
+    }
+    traffic
+}
+
+/// The chunk's uncontended DRAM bandwidth demand in bytes/ns: its effective
+/// bytes streamed over its ideal duration.
+pub(crate) fn desired_bandwidth(spec: &TaskSpec, exec_node: NodeId, core_bw: f64) -> f64 {
+    let ideal = spec.ideal_ns(core_bw);
+    if ideal > 0.0 {
+        spec.effective_bytes(exec_node) / ideal
+    } else {
+        0.0
+    }
+}
+
+/// Aggregated bandwidth demand and the congestion factors derived from it.
+///
+/// Usage per event: [`clear`](Self::clear), one [`add_flow`](Self::add_flow)
+/// per running chunk (across *all* loops sharing the machine), then
+/// [`finalize`](Self::finalize); afterwards [`penalty`](Self::penalty) prices
+/// any chunk's traffic against the field.
+pub(crate) struct CongestionField {
+    /// Per-node DRAM demand, bytes/ns.
+    demand: Vec<f64>,
+    /// Per socket-pair link demand (row-major `s × s`, only `i<j` entries
+    /// used).
+    link_demand: Vec<f64>,
+    /// Per-node streaming-flow weight (row-buffer interference).
+    streams: Vec<f64>,
+    /// Per-node congestion factor (valid after `finalize`).
+    node_cong: Vec<f64>,
+    /// Per socket-pair link congestion factor (valid after `finalize`).
+    link_cong: Vec<f64>,
+    num_sockets: usize,
+}
+
+impl CongestionField {
+    pub(crate) fn new(num_nodes: usize, num_sockets: usize) -> Self {
+        CongestionField {
+            demand: vec![0.0; num_nodes],
+            link_demand: vec![0.0; num_sockets * num_sockets],
+            streams: vec![0.0; num_nodes],
+            node_cong: vec![1.0; num_nodes],
+            link_cong: vec![1.0; num_sockets * num_sockets],
+            num_sockets,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.demand.iter_mut().for_each(|d| *d = 0.0);
+        self.link_demand.iter_mut().for_each(|d| *d = 0.0);
+        self.streams.iter_mut().for_each(|d| *d = 0.0);
+    }
+
+    /// Adds one running chunk's demand. `scale` discounts a chunk that holds
+    /// only part of a core (timeshared execution under oversubscription
+    /// issues proportionally less traffic); single-loop engines pass 1.0.
+    pub(crate) fn add_flow(
+        &mut self,
+        topo: &Topology,
+        spec: &TaskSpec,
+        exec_node: usize,
+        traffic: &[(usize, f64, f64)],
+        desired_bw: f64,
+        scale: f64,
+    ) {
+        let stream_weight = match spec.locality {
+            crate::task::Locality::Chunked => 1.0,
+            crate::task::Locality::Scattered { spread } => 1.0 - spread,
+        };
+        self.streams[spec.home_node.index()] += stream_weight * scale;
+        let ns = self.num_sockets;
+        let s_from = topo.socket_of_node(NodeId::new(exec_node)).index();
+        for &(k, frac, _) in traffic {
+            let bw = desired_bw * frac * scale;
+            self.demand[k] += bw;
+            let s_to = topo.socket_of_node(NodeId::new(k)).index();
+            if s_from != s_to {
+                let (a, b) = (s_from.min(s_to), s_from.max(s_to));
+                self.link_demand[a * ns + b] += bw;
+            }
+        }
+    }
+
+    /// Converts accumulated demand into congestion factors.
+    pub(crate) fn finalize(&mut self, params: &MachineParams) {
+        let beta = params.overload_beta;
+        let cong = |demand: f64, bw: f64| -> f64 {
+            let util = demand / bw;
+            if util <= 1.0 {
+                1.0
+            } else {
+                util * (1.0 + beta * (util - 1.0))
+            }
+        };
+        let kappa = params.stream_kappa;
+        let base = params.stream_base;
+        for (out, (&d, &st)) in self
+            .node_cong
+            .iter_mut()
+            .zip(self.demand.iter().zip(&self.streams))
+        {
+            let stream_factor = 1.0 + kappa * (st - base).max(0.0);
+            *out = cong(d, params.node_bw) * stream_factor;
+        }
+        for (out, &d) in self.link_cong.iter_mut().zip(&self.link_demand) {
+            *out = cong(d, params.link_bw);
+        }
+    }
+
+    /// The congestion-weighted latency penalty of a chunk's traffic when
+    /// executed from `exec_node`. Cross-socket rows pay the worse of the
+    /// target controller's and the link's congestion.
+    pub(crate) fn penalty(
+        &self,
+        topo: &Topology,
+        exec_node: usize,
+        traffic: &[(usize, f64, f64)],
+    ) -> f64 {
+        let ns = self.num_sockets;
+        let s_from = topo.socket_of_node(NodeId::new(exec_node)).index();
+        let mut penalty = 0.0;
+        for &(k, frac, lat) in traffic {
+            let s_to = topo.socket_of_node(NodeId::new(k)).index();
+            let mut c = self.node_cong[k];
+            if s_from != s_to {
+                let (a, b) = (s_from.min(s_to), s_from.max(s_to));
+                c = c.max(self.link_cong[a * ns + b]);
+            }
+            penalty += frac * lat * c;
+        }
+        penalty
+    }
+}
+
+/// The chunk's wall duration on a core at frequency factor `freq` under the
+/// given congestion penalty: compute plus memory streamed at the single-core
+/// bandwidth, inflated by the penalty (which never accelerates, hence the
+/// clamp at 1).
+pub(crate) fn chunk_duration(
+    params: &MachineParams,
+    spec: &TaskSpec,
+    exec_node: NodeId,
+    freq: f64,
+    penalty: f64,
+) -> f64 {
+    let compute = spec.compute_ns / freq;
+    let mem = spec.effective_bytes(exec_node) / params.core_bw * penalty.max(1.0);
+    compute + mem
+}

@@ -1,0 +1,179 @@
+//! Job specifications and the seeded arrival stream.
+//!
+//! A *job* is one tenant program: a benchmark workload run for a small
+//! number of timesteps. The serving experiment replays a Poisson-style
+//! stream of such jobs — exponential inter-arrival times, a fixed workload
+//! mix, and a small fraction of high-priority requests — all drawn
+//! deterministically from a seed so a run can be replayed exactly.
+
+use ilan_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scheduling class of a job. High-priority jobs are admitted ahead of
+/// normal ones whenever both are waiting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobPriority {
+    /// Admitted before any waiting [`Normal`](JobPriority::Normal) job.
+    High,
+    /// Default class, served in arrival order.
+    Normal,
+}
+
+impl JobPriority {
+    /// Single-letter tag used in reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            JobPriority::High => "H",
+            JobPriority::Normal => "N",
+        }
+    }
+}
+
+/// One job of the serving stream.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Stream-unique id (also the submission order).
+    pub id: usize,
+    /// The tenant's program.
+    pub workload: Workload,
+    /// Timesteps the tenant runs (each timestep executes the workload's full
+    /// per-step taskloop schedule, so the invocation count is
+    /// `steps × schedule.len()`).
+    pub steps: usize,
+    /// Scheduling class.
+    pub priority: JobPriority,
+    /// Submission time on the machine clock, ns.
+    pub arrival_ns: f64,
+}
+
+/// Parameters of the generated job stream.
+#[derive(Clone, Debug)]
+pub struct StreamParams {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean of the exponential inter-arrival distribution, ns.
+    pub mean_interarrival_ns: f64,
+    /// Workload mix, sampled uniformly per job.
+    pub mix: Vec<Workload>,
+    /// Timesteps per job.
+    pub steps: usize,
+    /// Probability that a job is [`JobPriority::High`].
+    pub high_priority_fraction: f64,
+}
+
+impl StreamParams {
+    /// The colocation experiment's default mix: two bandwidth-hungry
+    /// applications (CG, SP) and one compute-bound (Matmul), per the paper's
+    /// interference taxonomy.
+    pub fn mixed(jobs: usize, mean_interarrival_ns: f64) -> Self {
+        StreamParams {
+            jobs,
+            mean_interarrival_ns,
+            mix: vec![Workload::Cg, Workload::Sp, Workload::Matmul],
+            steps: 2,
+            high_priority_fraction: 0.25,
+        }
+    }
+}
+
+/// Generates the job stream for `seed`: exponential inter-arrival gaps,
+/// uniform workload mix, Bernoulli priority. The result is sorted by
+/// arrival time (arrivals are generated in order) and is a pure function of
+/// `(seed, params)`.
+pub fn generate_stream(seed: u64, params: &StreamParams) -> Vec<JobSpec> {
+    assert!(!params.mix.is_empty(), "stream needs a workload mix");
+    assert!(
+        params.mean_interarrival_ns > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    assert!(params.steps > 0, "jobs need at least one step");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrival = 0.0f64;
+    (0..params.jobs)
+        .map(|id| {
+            // Exponential gap: −mean·ln(1−u), u uniform in [0,1).
+            let u: f64 = rng.random();
+            arrival += -params.mean_interarrival_ns * (1.0 - u).ln();
+            let workload = params.mix[rng.random_range(0..params.mix.len())];
+            let p: f64 = rng.random();
+            let priority = if p < params.high_priority_fraction {
+                JobPriority::High
+            } else {
+                JobPriority::Normal
+            };
+            JobSpec {
+                id,
+                workload,
+                steps: params.steps,
+                priority,
+                arrival_ns: arrival,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = StreamParams::mixed(32, 1e6);
+        let a = generate_stream(7, &p);
+        let b = generate_stream(7, &p);
+        assert_eq!(a.len(), 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.arrival_ns, y.arrival_ns);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = StreamParams::mixed(32, 1e6);
+        let a = generate_stream(1, &p);
+        let b = generate_stream(2, &p);
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.arrival_ns != y.arrival_ns || x.workload != y.workload),
+            "seeds 1 and 2 produced identical streams"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_positive() {
+        let p = StreamParams::mixed(64, 5e5);
+        let s = generate_stream(3, &p);
+        let mut prev = 0.0;
+        for j in &s {
+            assert!(j.arrival_ns >= prev, "arrivals must be non-decreasing");
+            assert!(j.arrival_ns > 0.0);
+            prev = j.arrival_ns;
+        }
+    }
+
+    #[test]
+    fn mix_and_priorities_show_up() {
+        let p = StreamParams::mixed(200, 1e6);
+        let s = generate_stream(11, &p);
+        for w in [Workload::Cg, Workload::Sp, Workload::Matmul] {
+            assert!(s.iter().any(|j| j.workload == w), "{} missing", w.name());
+        }
+        assert!(s.iter().any(|j| j.priority == JobPriority::High));
+        assert!(s.iter().any(|j| j.priority == JobPriority::Normal));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload mix")]
+    fn rejects_empty_mix() {
+        let p = StreamParams {
+            mix: vec![],
+            ..StreamParams::mixed(4, 1e6)
+        };
+        generate_stream(0, &p);
+    }
+}

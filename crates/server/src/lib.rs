@@ -1,0 +1,44 @@
+//! `ilan-server`: a multi-tenant, interference-aware co-scheduling service.
+//!
+//! The ILAN paper schedules one application at a time. This crate asks the
+//! next question: what happens when several applications *share* the NUMA
+//! machine? It serves a seeded Poisson-style stream of jobs (benchmark
+//! workloads with a step count and a priority) on the colocation simulator
+//! ([`ilan_numasim::ColoMachine`]), with:
+//!
+//! * an **admission controller** that queues jobs until a partition is
+//!   available, admitting high-priority jobs first and backfilling around
+//!   jobs that do not fit;
+//! * a **partitioner** ([`Partitioner`]) carving the NUMA nodes into
+//!   disjoint per-tenant partitions under three policies — naive
+//!   full-machine sharing, static equal slots, and interference-aware
+//!   placement that isolates bandwidth-hungry tenants (CG, SP) on their own
+//!   socket and packs compute-bound tenants (Matmul) together;
+//! * one **confined ILAN scheduler per tenant** ([`Tenant`]): the paper's
+//!   moldability search, node-mask selection and steal trial run unchanged
+//!   inside the tenant's partition;
+//! * a **PTT warm-start store** ([`PttStore`]): a completed job's
+//!   Performance Trace Table is saved in the plain-text format and reloaded
+//!   for the next job of the same workload and partition size, which then
+//!   starts settled and skips the exploration cost entirely;
+//! * **serving metrics** ([`ColoSummary`]): throughput, p50/p95/p99 job
+//!   latency, per-job slowdown versus an isolated run, and ANTT.
+//!
+//! The headline experiment ([`compare_policies`]) replays one stream under
+//! all three policies; `repro -- colo` prints it.
+
+#![warn(missing_docs)]
+
+mod job;
+mod metrics;
+mod partition;
+mod report;
+mod server;
+mod tenant;
+
+pub use job::{generate_stream, JobPriority, JobSpec, StreamParams};
+pub use metrics::{summarize, ColoSummary, JobRecord};
+pub use partition::{demand_ratio, is_bandwidth_hungry, Partitioner, SharingPolicy, ALL_POLICIES};
+pub use report::{compare_policies, ColoExperiment};
+pub use server::{run_colocation, PttStore, ServerConfig};
+pub use tenant::{confine_app, Tenant};

@@ -1,0 +1,218 @@
+//! Serving metrics: per-job records and the stream-level summary.
+//!
+//! Each completed job yields a [`JobRecord`]; a run reduces to a
+//! [`ColoSummary`] with the metrics the colocation literature reports:
+//! throughput, latency percentiles, per-job slowdown against an isolated
+//! run, and ANTT (average normalized turnaround time — the mean slowdown).
+//! All formatting is deterministic: the same records render byte-identical
+//! text.
+
+use crate::job::JobPriority;
+use ilan_workloads::Workload;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The outcome of one served job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Stream id of the job.
+    pub id: usize,
+    /// The tenant's program.
+    pub workload: Workload,
+    /// Scheduling class.
+    pub priority: JobPriority,
+    /// Submission time, ns.
+    pub arrival_ns: f64,
+    /// Admission time (partition granted), ns.
+    pub admitted_ns: f64,
+    /// Completion time, ns.
+    pub finish_ns: f64,
+    /// Nodes in the partition the job ran in.
+    pub partition_nodes: usize,
+    /// Whether the job's scheduler was warm-started from a stored PTT.
+    pub warm_started: bool,
+    /// Scheduling overhead accumulated across the job's invocations, ns.
+    pub sched_overhead_ns: f64,
+    /// Latency of the same job run alone on the whole machine, ns.
+    pub isolated_ns: f64,
+}
+
+impl JobRecord {
+    /// Submission-to-completion latency, ns.
+    pub fn latency_ns(&self) -> f64 {
+        self.finish_ns - self.arrival_ns
+    }
+
+    /// Queueing delay before admission, ns.
+    pub fn wait_ns(&self) -> f64 {
+        self.admitted_ns - self.arrival_ns
+    }
+
+    /// Execution time inside the partition, ns.
+    pub fn exec_ns(&self) -> f64 {
+        self.finish_ns - self.admitted_ns
+    }
+
+    /// Normalized turnaround: latency relative to the isolated run.
+    pub fn slowdown(&self) -> f64 {
+        self.latency_ns() / self.isolated_ns
+    }
+}
+
+/// Stream-level metrics of one policy's run.
+#[derive(Clone, Debug)]
+pub struct ColoSummary {
+    /// Sharing policy name.
+    pub policy: &'static str,
+    /// Jobs served.
+    pub jobs: usize,
+    /// Last completion time, ns (the stream's makespan).
+    pub makespan_ns: f64,
+    /// Jobs per simulated second.
+    pub throughput_per_s: f64,
+    /// Latency percentiles (nearest-rank), ns.
+    pub p50_ns: f64,
+    /// 95th-percentile latency, ns.
+    pub p95_ns: f64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: f64,
+    /// Average normalized turnaround time (mean slowdown).
+    pub antt: f64,
+    /// Worst per-job slowdown.
+    pub max_slowdown: f64,
+    /// Mean slowdown per workload, keyed by display name.
+    pub per_workload: BTreeMap<&'static str, f64>,
+    /// Jobs whose scheduler was warm-started.
+    pub warm_jobs: usize,
+}
+
+/// Nearest-rank percentile of pre-sorted `sorted` (q in (0, 100]).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty set");
+    let n = sorted.len();
+    let rank = ((q / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Reduces a run's records to its [`ColoSummary`].
+pub fn summarize(policy: &'static str, records: &[JobRecord]) -> ColoSummary {
+    assert!(!records.is_empty(), "summary needs at least one job");
+    let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ns()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let makespan_ns = records
+        .iter()
+        .map(|r| r.finish_ns)
+        .fold(0.0f64, f64::max);
+    let antt = records.iter().map(|r| r.slowdown()).sum::<f64>() / records.len() as f64;
+    let max_slowdown = records.iter().map(|r| r.slowdown()).fold(0.0f64, f64::max);
+    let mut per_workload: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        let e = per_workload.entry(r.workload.name()).or_insert((0.0, 0));
+        e.0 += r.slowdown();
+        e.1 += 1;
+    }
+    ColoSummary {
+        policy,
+        jobs: records.len(),
+        makespan_ns,
+        throughput_per_s: records.len() as f64 / (makespan_ns * 1e-9),
+        p50_ns: percentile(&latencies, 50.0),
+        p95_ns: percentile(&latencies, 95.0),
+        p99_ns: percentile(&latencies, 99.0),
+        antt,
+        max_slowdown,
+        per_workload: per_workload
+            .into_iter()
+            .map(|(k, (sum, n))| (k, sum / n as f64))
+            .collect(),
+        warm_jobs: records.iter().filter(|r| r.warm_started).count(),
+    }
+}
+
+fn ms(ns: f64) -> f64 {
+    ns * 1e-6
+}
+
+impl fmt::Display for ColoSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<20} jobs={:<3} makespan={:.2}ms throughput={:.1}/s warm={}",
+            self.policy,
+            self.jobs,
+            ms(self.makespan_ns),
+            self.throughput_per_s,
+            self.warm_jobs
+        )?;
+        writeln!(
+            f,
+            "  latency p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            ms(self.p50_ns),
+            ms(self.p95_ns),
+            ms(self.p99_ns)
+        )?;
+        write!(f, "  ANTT={:.2} max-slowdown={:.2}", self.antt, self.max_slowdown)?;
+        for (w, s) in &self.per_workload {
+            write!(f, " {w}={s:.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: usize, workload: Workload, arrival: f64, finish: f64, isolated: f64) -> JobRecord {
+        JobRecord {
+            id,
+            workload,
+            priority: JobPriority::Normal,
+            arrival_ns: arrival,
+            admitted_ns: arrival,
+            finish_ns: finish,
+            partition_nodes: 2,
+            warm_started: id % 2 == 1,
+            sched_overhead_ns: 0.0,
+            isolated_ns: isolated,
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = vec![
+            record(0, Workload::Cg, 0.0, 2e6, 1e6),     // slowdown 2
+            record(1, Workload::Matmul, 0.0, 4e6, 1e6), // slowdown 4
+        ];
+        let s = summarize("test", &records);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.makespan_ns, 4e6);
+        assert!((s.antt - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_slowdown, 4.0);
+        assert_eq!(s.per_workload["CG"], 2.0);
+        assert_eq!(s.per_workload["Matmul"], 4.0);
+        assert_eq!(s.warm_jobs, 1);
+        assert_eq!(s.p95_ns, 4e6);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let records = vec![
+            record(0, Workload::Sp, 1.0, 3e6, 1.5e6),
+            record(1, Workload::Cg, 2.0, 5e6, 2e6),
+        ];
+        let a = summarize("p", &records).to_string();
+        let b = summarize("p", &records).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("ANTT="));
+    }
+}

@@ -1,0 +1,375 @@
+//! Machine partitioning: how concurrent tenants share the NUMA nodes.
+//!
+//! Three sharing policies, from no structure to interference-aware:
+//!
+//! * [`SharingPolicy::Naive`] — every admitted tenant gets the whole
+//!   machine. Tenants' workers timeshare the cores and their chunks contend
+//!   on every memory controller: the unmanaged-colocation baseline.
+//! * [`SharingPolicy::StaticEqual`] — the machine is carved into
+//!   `max_tenants` equal, fixed node slots; a tenant takes the lowest free
+//!   slot regardless of what it runs. Partitions are disjoint, so cores are
+//!   never oversubscribed, but a bandwidth-hungry tenant is throttled to its
+//!   slot's controllers while a compute-bound neighbour wastes its share.
+//! * [`SharingPolicy::InterferenceAware`] — partitions are sized and placed
+//!   by *bandwidth demand*. A bandwidth-hungry tenant (CG, SP) is isolated:
+//!   it gets a whole socket when one is free — four controllers for the
+//!   same demand, and never a socket shared with another hungry tenant.
+//!   Compute-bound tenants (Matmul) are packed best-fit into the remaining
+//!   nodes, where their negligible DRAM traffic disturbs nobody.
+//!
+//! Demand is estimated statically from the workload's chunk cost model and,
+//! once the tenant has history, overridden by its PTT: a site whose
+//! moldability search settled below the partition's core count revealed an
+//! interior bandwidth optimum — the signature of a bandwidth-bound loop.
+
+use ilan_numasim::MachineParams;
+use ilan_topology::{NodeId, NodeMask, SocketId, Topology};
+use ilan_workloads::SimApp;
+
+/// How concurrent tenants share the machine (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharingPolicy {
+    /// Full-machine sharing: all tenants on all nodes.
+    Naive,
+    /// Fixed equal node slots, demand-blind.
+    StaticEqual,
+    /// Demand-driven sizing and placement.
+    InterferenceAware,
+}
+
+/// All policies, in increasing order of structure.
+pub const ALL_POLICIES: [SharingPolicy; 3] = [
+    SharingPolicy::Naive,
+    SharingPolicy::StaticEqual,
+    SharingPolicy::InterferenceAware,
+];
+
+impl SharingPolicy {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SharingPolicy::Naive => "naive-shared",
+            SharingPolicy::StaticEqual => "static-equal",
+            SharingPolicy::InterferenceAware => "interference-aware",
+        }
+    }
+}
+
+/// Peak per-node DRAM demand of `app` relative to one controller's
+/// bandwidth, assuming every core of a node runs the app's chunks locally.
+/// A ratio above 1 means a node's controller saturates even without
+/// co-runners — the loop is bandwidth-bound.
+pub fn demand_ratio(app: &SimApp, topo: &Topology, params: &MachineParams) -> f64 {
+    let mut worst = 0.0f64;
+    for site in &app.sites {
+        let per_core: f64 = site
+            .tasks
+            .iter()
+            .map(|t| t.effective_bytes(t.home_node) / t.ideal_ns(params.core_bw))
+            .sum::<f64>()
+            / site.tasks.len() as f64;
+        let ratio = per_core * topo.cores_per_node() as f64 / params.node_bw;
+        worst = worst.max(ratio);
+    }
+    worst
+}
+
+/// Whether `app` is bandwidth-hungry under [`demand_ratio`]'s model.
+pub fn is_bandwidth_hungry(app: &SimApp, topo: &Topology, params: &MachineParams) -> bool {
+    demand_ratio(app, topo, params) > 1.0
+}
+
+/// Allocates disjoint node partitions to tenants under a [`SharingPolicy`].
+///
+/// The partitioner is the admission controller's mechanism: a job is
+/// admitted exactly when [`try_allocate`](Partitioner::try_allocate)
+/// returns a mask, and the mask is returned via
+/// [`release`](Partitioner::release) when the job finishes.
+pub struct Partitioner {
+    policy: SharingPolicy,
+    topo: Topology,
+    max_tenants: usize,
+    /// Node count of one equal slot (`num_nodes / max_tenants`, at least 1).
+    base_nodes: usize,
+    free: NodeMask,
+    /// Naive policy only: tenants currently sharing the whole machine.
+    shared: usize,
+    /// Hungry tenants currently holding nodes on each socket.
+    hungry_on_socket: Vec<usize>,
+}
+
+impl Partitioner {
+    /// Creates a partitioner for at most `max_tenants` concurrent tenants.
+    pub fn new(policy: SharingPolicy, topo: &Topology, max_tenants: usize) -> Self {
+        assert!(max_tenants >= 1, "need at least one tenant slot");
+        assert!(
+            max_tenants <= topo.num_nodes(),
+            "more tenant slots than NUMA nodes"
+        );
+        Partitioner {
+            policy,
+            topo: topo.clone(),
+            max_tenants,
+            base_nodes: (topo.num_nodes() / max_tenants).max(1),
+            free: topo.all_nodes(),
+            shared: 0,
+            hungry_on_socket: vec![0; topo.num_sockets()],
+        }
+    }
+
+    /// Nodes of one equal slot.
+    pub fn base_nodes(&self) -> usize {
+        self.base_nodes
+    }
+
+    /// Number of tenants currently holding an allocation.
+    pub fn active_tenants(&self) -> usize {
+        match self.policy {
+            SharingPolicy::Naive => self.shared,
+            _ => (self.topo.all_nodes().count() - self.free.count()).div_ceil(self.base_nodes),
+        }
+    }
+
+    fn socket_nodes(&self, socket: usize) -> NodeMask {
+        let mut m = NodeMask::EMPTY;
+        for i in 0..self.topo.num_nodes() {
+            let n = NodeId::new(i);
+            if self.topo.socket_of_node(n) == SocketId::new(socket) {
+                m.insert(n);
+            }
+        }
+        m
+    }
+
+    fn free_in_socket(&self, socket: usize) -> NodeMask {
+        self.socket_nodes(socket).intersection(self.free)
+    }
+
+    /// Takes the `k` lowest free nodes of `pool`, or `None` if it holds
+    /// fewer than `k`.
+    fn take_lowest(&mut self, pool: NodeMask, k: usize) -> Option<NodeMask> {
+        let avail = pool.intersection(self.free);
+        if avail.count() < k {
+            return None;
+        }
+        let mut m = NodeMask::EMPTY;
+        for n in avail.iter().take(k) {
+            m.insert(n);
+        }
+        self.free = self.free.difference(m);
+        Some(m)
+    }
+
+    /// Tries to allocate a partition for a tenant with the given demand
+    /// class. Returns `None` when the job must wait.
+    pub fn try_allocate(&mut self, hungry: bool) -> Option<NodeMask> {
+        match self.policy {
+            SharingPolicy::Naive => {
+                if self.shared < self.max_tenants {
+                    self.shared += 1;
+                    Some(self.topo.all_nodes())
+                } else {
+                    None
+                }
+            }
+            SharingPolicy::StaticEqual => {
+                // Fixed slots: slot i covers nodes [i·b, (i+1)·b). Take the
+                // lowest slot that is entirely free.
+                let b = self.base_nodes;
+                for slot in 0..(self.topo.num_nodes() / b) {
+                    let mask = {
+                        let mut m = NodeMask::EMPTY;
+                        for i in slot * b..(slot + 1) * b {
+                            m.insert(NodeId::new(i));
+                        }
+                        m
+                    };
+                    if mask.is_subset(self.free) {
+                        self.free = self.free.difference(mask);
+                        return Some(mask);
+                    }
+                }
+                None
+            }
+            SharingPolicy::InterferenceAware => {
+                if hungry {
+                    self.take_isolated()
+                } else {
+                    self.take_packed()
+                }
+            }
+        }
+    }
+
+    /// A bandwidth-hungry tenant: a whole free socket if one exists, else an
+    /// equal slot on a socket hosting no other hungry tenant.
+    fn take_isolated(&mut self) -> Option<NodeMask> {
+        for s in 0..self.topo.num_sockets() {
+            let nodes = self.socket_nodes(s);
+            if self.hungry_on_socket[s] == 0 && nodes.is_subset(self.free) {
+                self.free = self.free.difference(nodes);
+                self.hungry_on_socket[s] += 1;
+                return Some(nodes);
+            }
+        }
+        for s in 0..self.topo.num_sockets() {
+            if self.hungry_on_socket[s] == 0 {
+                if let Some(m) = self.take_lowest(self.socket_nodes(s), self.base_nodes) {
+                    self.hungry_on_socket[s] += 1;
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// A compute-bound tenant: best-fit packing — the socket with the
+    /// fewest free nodes that can still host an equal slot, preferring
+    /// sockets without hungry tenants.
+    fn take_packed(&mut self) -> Option<NodeMask> {
+        let mut best: Option<(usize, usize, usize)> = None; // (has_hungry, free, socket)
+        for s in 0..self.topo.num_sockets() {
+            let f = self.free_in_socket(s).count();
+            if f >= self.base_nodes {
+                let key = (usize::from(self.hungry_on_socket[s] > 0), f, s);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (_, _, s) = best?;
+        self.take_lowest(self.socket_nodes(s), self.base_nodes)
+    }
+
+    /// Returns a tenant's partition to the pool. `hungry` must match the
+    /// class passed to [`try_allocate`](Self::try_allocate).
+    pub fn release(&mut self, mask: NodeMask, hungry: bool) {
+        if self.policy == SharingPolicy::Naive {
+            assert!(self.shared > 0, "release without allocation");
+            self.shared -= 1;
+            return;
+        }
+        assert!(
+            mask.intersection(self.free).is_empty(),
+            "double release of {mask:?}"
+        );
+        self.free = self.free.union(mask);
+        // Only the interference-aware policy tracks hungry placements.
+        if hungry && self.policy == SharingPolicy::InterferenceAware {
+            let s = self.topo.socket_of_node(mask.first().expect("non-empty"));
+            let s = s.index();
+            assert!(self.hungry_on_socket[s] > 0, "hungry release without allocation");
+            self.hungry_on_socket[s] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan_topology::presets;
+    use ilan_workloads::{Scale, Workload};
+
+    #[test]
+    fn naive_counts_tenants() {
+        let t = presets::epyc_9354_2s();
+        let mut p = Partitioner::new(SharingPolicy::Naive, &t, 3);
+        let a = p.try_allocate(true).unwrap();
+        let b = p.try_allocate(false).unwrap();
+        assert_eq!(a, t.all_nodes());
+        assert_eq!(b, t.all_nodes());
+        assert!(p.try_allocate(false).is_some());
+        assert!(p.try_allocate(false).is_none(), "fourth tenant must wait");
+        p.release(a, true);
+        assert!(p.try_allocate(false).is_some());
+    }
+
+    #[test]
+    fn static_equal_slots_are_disjoint_and_fixed() {
+        let t = presets::epyc_9354_2s();
+        let mut p = Partitioner::new(SharingPolicy::StaticEqual, &t, 4);
+        let masks: Vec<NodeMask> = (0..4).map(|_| p.try_allocate(true).unwrap()).collect();
+        for m in &masks {
+            assert_eq!(m.count(), 2);
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(masks[i].intersection(masks[j]).is_empty());
+            }
+        }
+        assert!(p.try_allocate(false).is_none());
+        // Releasing the second slot frees exactly that slot.
+        p.release(masks[1], true);
+        assert_eq!(p.try_allocate(false).unwrap(), masks[1]);
+    }
+
+    #[test]
+    fn interference_aware_isolates_hungry_on_sockets() {
+        let t = presets::epyc_9354_2s();
+        let mut p = Partitioner::new(SharingPolicy::InterferenceAware, &t, 4);
+        let a = p.try_allocate(true).unwrap();
+        assert_eq!(a.count(), 4, "hungry tenant gets a whole socket");
+        let b = p.try_allocate(true).unwrap();
+        assert_eq!(b.count(), 4);
+        assert!(a.intersection(b).is_empty());
+        let sock_a = t.socket_of_node(a.first().unwrap());
+        let sock_b = t.socket_of_node(b.first().unwrap());
+        assert_ne!(sock_a, sock_b, "two hungry tenants must not share a socket");
+        // Machine full of hungry tenants: everyone else waits.
+        assert!(p.try_allocate(false).is_none());
+        p.release(a, true);
+        // With a socket free again, compute tenants pack into equal slots.
+        let c = p.try_allocate(false).unwrap();
+        let d = p.try_allocate(false).unwrap();
+        assert_eq!(c.count(), 2);
+        assert_eq!(d.count(), 2);
+        assert_eq!(
+            t.socket_of_node(c.first().unwrap()),
+            t.socket_of_node(d.first().unwrap()),
+            "compute tenants pack onto the same socket"
+        );
+    }
+
+    #[test]
+    fn interference_aware_falls_back_to_slot_when_socket_busy() {
+        let t = presets::epyc_9354_2s();
+        let mut p = Partitioner::new(SharingPolicy::InterferenceAware, &t, 4);
+        // A compute tenant occupies part of socket 0.
+        let c = p.try_allocate(false).unwrap();
+        assert_eq!(c.count(), 2);
+        // First hungry tenant takes the fully-free socket 1.
+        let a = p.try_allocate(true).unwrap();
+        assert_eq!(a.count(), 4);
+        // Second hungry tenant: no free socket and socket 1 already hosts a
+        // hungry tenant, so it falls back to an equal slot on socket 0.
+        let b = p.try_allocate(true).unwrap();
+        assert_eq!(b.count(), 2);
+        assert!(b.intersection(c).is_empty());
+        assert_eq!(t.socket_of_node(b.first().unwrap()).index(), 0);
+        // A third hungry tenant has no hungry-free socket left: waits.
+        assert!(p.try_allocate(true).is_none());
+    }
+
+    #[test]
+    fn demand_classifies_the_paper_workloads() {
+        let t = presets::epyc_9354_2s();
+        let params = MachineParams::for_topology(&t);
+        let hungry = |w: Workload| {
+            let app = w.sim_app(&t, Scale::Quick);
+            is_bandwidth_hungry(&app, &t, &params)
+        };
+        assert!(hungry(Workload::Cg), "CG is bandwidth-hungry");
+        assert!(hungry(Workload::Sp), "SP is bandwidth-hungry");
+        assert!(!hungry(Workload::Matmul), "Matmul is compute-bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_caught() {
+        let t = presets::tiny_2x4();
+        let mut p = Partitioner::new(SharingPolicy::StaticEqual, &t, 2);
+        let m = p.try_allocate(false).unwrap();
+        p.release(m, false);
+        p.release(m, false);
+    }
+}

@@ -1,0 +1,106 @@
+//! The colocation experiment: one stream, three sharing policies.
+//!
+//! [`compare_policies`] replays the same seeded job stream under naive
+//! full-machine sharing, static equal partitioning, and interference-aware
+//! partitioning, and renders their summaries side by side. The output is a
+//! pure function of the configuration and seed — byte-identical across
+//! replays — which is what the determinism test and the CI smoke run pin.
+
+use crate::job::{generate_stream, StreamParams};
+use crate::metrics::{summarize, ColoSummary};
+use crate::partition::{SharingPolicy, ALL_POLICIES};
+use crate::server::{run_colocation, ServerConfig};
+use ilan_topology::Topology;
+use ilan_workloads::Scale;
+use std::fmt::Write as _;
+
+/// Configuration of the three-policy comparison.
+#[derive(Clone, Debug)]
+pub struct ColoExperiment {
+    /// The machine.
+    pub topology: Topology,
+    /// Jobs in the stream.
+    pub jobs: usize,
+    /// Stream seed (also seeds the machines).
+    pub seed: u64,
+    /// Workload problem scale.
+    pub scale: Scale,
+    /// Mean exponential inter-arrival gap, ns.
+    pub mean_interarrival_ns: f64,
+    /// Timesteps per job.
+    pub steps_per_job: usize,
+}
+
+impl ColoExperiment {
+    /// Defaults: quick-scale mixed CG/SP/Matmul stream with a moderate
+    /// offered load (mean gap of 2 ms against multi-ms jobs).
+    pub fn new(topology: &Topology, jobs: usize, seed: u64) -> Self {
+        ColoExperiment {
+            topology: topology.clone(),
+            jobs,
+            seed,
+            scale: Scale::Quick,
+            mean_interarrival_ns: 2e6,
+            steps_per_job: 2,
+        }
+    }
+
+    fn stream_params(&self) -> StreamParams {
+        StreamParams {
+            steps: self.steps_per_job,
+            ..StreamParams::mixed(self.jobs, self.mean_interarrival_ns)
+        }
+    }
+
+    /// Runs one policy on the experiment's stream.
+    pub fn run(&self, policy: SharingPolicy) -> ColoSummary {
+        let stream = generate_stream(self.seed, &self.stream_params());
+        let mut config = ServerConfig::new(&self.topology, policy);
+        config.scale = self.scale;
+        let records = run_colocation(&config, &stream, self.seed);
+        summarize(policy.name(), &records)
+    }
+}
+
+/// Runs all three policies on the same stream and renders the comparison.
+pub fn compare_policies(experiment: &ColoExperiment) -> String {
+    let summaries: Vec<ColoSummary> = ALL_POLICIES.iter().map(|&p| experiment.run(p)).collect();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "colocation: {} jobs, seed {}, machine {}",
+        experiment.jobs,
+        experiment.seed,
+        experiment.topology.summary()
+    )
+    .unwrap();
+    for s in &summaries {
+        writeln!(out, "{s}").unwrap();
+    }
+    let naive = &summaries[0];
+    let aware = &summaries[2];
+    writeln!(
+        out,
+        "interference-aware vs naive: ANTT {:.2}x, p95 latency {:.2}x",
+        naive.antt / aware.antt,
+        naive.p95_ns / aware.p95_ns
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ilan_topology::presets;
+
+    #[test]
+    fn comparison_runs_on_the_tiny_machine() {
+        let e = ColoExperiment::new(&presets::tiny_2x4(), 4, 2);
+        let text = compare_policies(&e);
+        assert!(text.contains("naive-shared"));
+        assert!(text.contains("static-equal"));
+        assert!(text.contains("interference-aware"));
+        assert!(text.contains("ANTT"));
+    }
+}

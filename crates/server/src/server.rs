@@ -1,0 +1,390 @@
+//! The co-scheduling service: admission control over a shared machine.
+//!
+//! [`run_colocation`] replays a job stream against one [`ColoMachine`]:
+//!
+//! 1. Arrived jobs enter the wait queue (high priority first, then arrival
+//!    order).
+//! 2. The admission controller classifies each waiting job's bandwidth
+//!    demand — statically from its chunk cost model, overridden by stored
+//!    PTT history when the workload has run before — and admits it the
+//!    moment the [`Partitioner`] can grant a partition. Jobs that do not
+//!    fit are skipped, not blocking smaller jobs behind them (backfill
+//!    without reservations).
+//! 3. Each admitted job becomes a [`Tenant`] on its own machine lane,
+//!    running its ILAN scheduler confined to its partition. The scheduler
+//!    is warm-started from the [`PttStore`] when a previous job of the same
+//!    (workload, partition size) already paid the exploration cost.
+//! 4. On job completion the tenant's PTT is saved back to the store (as
+//!    text, exercising the persistence format in the serving path) and the
+//!    partition is released, which may admit waiting jobs.
+//!
+//! Per-job slowdowns are measured against the same job run alone on the
+//! whole machine with a cold scheduler, on a separate machine seeded
+//! deterministically from the run seed.
+
+use crate::job::{JobPriority, JobSpec};
+use crate::metrics::JobRecord;
+use crate::partition::{is_bandwidth_hungry, Partitioner, SharingPolicy};
+use crate::tenant::Tenant;
+use ilan::ptt::Ptt;
+use ilan_numasim::{ColoMachine, MachineParams};
+use ilan_topology::Topology;
+use ilan_workloads::{Scale, SimApp, Workload};
+use std::collections::HashMap;
+
+/// Configuration of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The machine.
+    pub topology: Topology,
+    /// How tenants share it.
+    pub policy: SharingPolicy,
+    /// Workload problem scale.
+    pub scale: Scale,
+    /// Maximum concurrent tenants (equal-slot count for the partitioned
+    /// policies).
+    pub max_tenants: usize,
+    /// Whether completed jobs' PTTs warm-start later jobs of the same
+    /// (workload, partition size).
+    pub warm_start: bool,
+}
+
+impl ServerConfig {
+    /// Defaults for a topology: quick-scale workloads, up to four tenants
+    /// (fewer on machines with fewer nodes), warm start on.
+    pub fn new(topology: &Topology, policy: SharingPolicy) -> Self {
+        ServerConfig {
+            topology: topology.clone(),
+            policy,
+            scale: Scale::Quick,
+            max_tenants: topology.num_nodes().min(4),
+            warm_start: true,
+        }
+    }
+}
+
+/// Persistent PTTs keyed by (workload, partition node count), stored in the
+/// plain-text format so every warm start exercises a save/load round trip.
+#[derive(Default)]
+pub struct PttStore {
+    entries: HashMap<(Workload, usize), String>,
+}
+
+impl PttStore {
+    /// Saves `ptt` for later jobs of the same workload and partition size.
+    pub fn save(&mut self, workload: Workload, partition_nodes: usize, ptt: &Ptt) {
+        self.entries
+            .insert((workload, partition_nodes), ptt.save_text());
+    }
+
+    /// Loads the stored PTT, if any.
+    pub fn load(&self, workload: Workload, partition_nodes: usize) -> Option<Ptt> {
+        self.entries.get(&(workload, partition_nodes)).map(|text| {
+            Ptt::load_text(text).expect("store holds only text written by save_text")
+        })
+    }
+
+    /// Whether any stored PTT for `workload` settled below the partition's
+    /// core capacity — the PTT-derived bandwidth-hunger signal (an interior
+    /// moldability optimum means the loop saturates memory before cores).
+    pub fn hungry_hint(&self, workload: Workload, cores_per_node: usize) -> Option<bool> {
+        let mut seen = false;
+        for ((w, nodes), text) in &self.entries {
+            if *w != workload {
+                continue;
+            }
+            let ptt = Ptt::load_text(text).expect("store holds valid text");
+            let capacity = nodes * cores_per_node;
+            for site in ptt.site_ids() {
+                let Some(table) = ptt.site(site) else { continue };
+                let Some(best) = table.fastest() else { continue };
+                seen = true;
+                if best.threads < capacity {
+                    return Some(true);
+                }
+            }
+        }
+        seen.then_some(false)
+    }
+}
+
+/// Latency of `job` run alone on the whole machine with a cold scheduler.
+fn isolated_latency_ns(
+    topology: &Topology,
+    scale: Scale,
+    workload: Workload,
+    steps: usize,
+    seed: u64,
+) -> f64 {
+    let params = MachineParams::for_topology(topology);
+    let mut machine = ColoMachine::new(params, seed);
+    let lane = machine.add_lane();
+    let job = JobSpec {
+        id: usize::MAX,
+        workload,
+        steps,
+        priority: JobPriority::Normal,
+        arrival_ns: 0.0,
+    };
+    let mut tenant = Tenant::new(
+        job,
+        topology.all_nodes(),
+        false,
+        topology,
+        scale,
+        None,
+        lane,
+        0.0,
+    );
+    tenant.start_next(&mut machine);
+    loop {
+        let (_, outcome) = machine
+            .run_until_next_completion()
+            .expect("isolated job has a loop in flight");
+        if tenant.on_completion(&outcome) {
+            return machine.now_ns();
+        }
+        tenant.start_next(&mut machine);
+    }
+}
+
+/// Replays `stream` under `config`, returning one record per job, in
+/// completion order. Deterministic in `(config, stream, seed)`.
+pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> Vec<JobRecord> {
+    let topo = &config.topology;
+    let params = MachineParams::for_topology(topo);
+    let mut machine = ColoMachine::new(params.clone(), seed);
+    let mut partitioner = Partitioner::new(config.policy, topo, config.max_tenants);
+    let mut store = PttStore::default();
+
+    // Static demand classification and isolated baselines, one per distinct
+    // (workload, steps) in stream order.
+    let mut apps: HashMap<Workload, SimApp> = HashMap::new();
+    let mut static_hungry: HashMap<Workload, bool> = HashMap::new();
+    let mut baselines: HashMap<(Workload, usize), f64> = HashMap::new();
+    for (i, job) in stream.iter().enumerate() {
+        let app = apps
+            .entry(job.workload)
+            .or_insert_with(|| job.workload.sim_app(topo, config.scale));
+        static_hungry
+            .entry(job.workload)
+            .or_insert_with(|| is_bandwidth_hungry(app, topo, &params));
+        baselines.entry((job.workload, job.steps)).or_insert_with(|| {
+            isolated_latency_ns(
+                topo,
+                config.scale,
+                job.workload,
+                job.steps,
+                seed ^ 0x1505_19AF ^ (i as u64),
+            )
+        });
+    }
+
+    // Pending arrivals (sorted), the wait queue, and active tenants by lane.
+    let mut pending: Vec<JobSpec> = stream.to_vec();
+    pending.sort_by(|a, b| {
+        a.arrival_ns
+            .partial_cmp(&b.arrival_ns)
+            .expect("finite arrivals")
+            .then(a.id.cmp(&b.id))
+    });
+    let mut next_pending = 0usize;
+    let mut waiting: Vec<JobSpec> = Vec::new();
+    let mut tenants: HashMap<usize, Tenant> = HashMap::new();
+    let mut records: Vec<JobRecord> = Vec::new();
+
+    loop {
+        let now = machine.now_ns();
+        // Move due arrivals into the wait queue, highest priority first,
+        // then arrival order (ids break exact-time ties deterministically).
+        while next_pending < pending.len() && pending[next_pending].arrival_ns <= now {
+            waiting.push(pending[next_pending].clone());
+            next_pending += 1;
+        }
+        waiting.sort_by(|a, b| a.priority.cmp(&b.priority).then(a.id.cmp(&b.id)));
+
+        // Admit every waiting job that fits (backfill).
+        let mut i = 0;
+        while i < waiting.len() {
+            let job = &waiting[i];
+            let hungry = store
+                .hungry_hint(job.workload, topo.cores_per_node())
+                .unwrap_or(static_hungry[&job.workload]);
+            match partitioner.try_allocate(hungry) {
+                Some(partition) => {
+                    let job = waiting.remove(i);
+                    let warm = if config.warm_start {
+                        store.load(job.workload, partition.count())
+                    } else {
+                        None
+                    };
+                    let lane = machine.add_lane();
+                    let mut tenant =
+                        Tenant::new(job, partition, hungry, topo, config.scale, warm, lane, now);
+                    tenant.start_next(&mut machine);
+                    tenants.insert(lane, tenant);
+                }
+                None => i += 1,
+            }
+        }
+
+        // Advance the machine to the next completion or arrival.
+        let next_arrival = pending.get(next_pending).map(|j| j.arrival_ns);
+        let completion = if machine.any_busy() {
+            match next_arrival {
+                Some(t) => machine.run_until_ns(t),
+                None => machine.run_until_next_completion(),
+            }
+        } else if let Some(t) = next_arrival {
+            machine.run_until_ns(t)
+        } else {
+            assert!(
+                waiting.is_empty(),
+                "jobs stuck in the wait queue on an idle machine"
+            );
+            break;
+        };
+
+        if let Some((lane, outcome)) = completion {
+            let tenant = tenants.get_mut(&lane).expect("completion on unknown lane");
+            if tenant.on_completion(&outcome) {
+                let tenant = tenants.remove(&lane).expect("just seen");
+                let key = (tenant.job.workload, tenant.job.steps);
+                records.push(JobRecord {
+                    id: tenant.job.id,
+                    workload: tenant.job.workload,
+                    priority: tenant.job.priority,
+                    arrival_ns: tenant.job.arrival_ns,
+                    admitted_ns: tenant.admitted_ns,
+                    finish_ns: machine.now_ns(),
+                    partition_nodes: tenant.partition.count(),
+                    warm_started: tenant.warm_started,
+                    sched_overhead_ns: tenant.sched_overhead_ns,
+                    isolated_ns: baselines[&key],
+                });
+                if config.warm_start {
+                    store.save(
+                        tenant.job.workload,
+                        tenant.partition.count(),
+                        tenant.scheduler().ptt(),
+                    );
+                }
+                partitioner.release(tenant.partition, tenant.hungry);
+            } else {
+                tenant.start_next(&mut machine);
+            }
+        }
+    }
+
+    assert_eq!(records.len(), stream.len(), "every job must complete");
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{generate_stream, StreamParams};
+    use ilan_topology::presets;
+
+    fn quick_config(policy: SharingPolicy) -> ServerConfig {
+        ServerConfig::new(&presets::tiny_2x4(), policy)
+    }
+
+    #[test]
+    fn serves_every_job_in_stream() {
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(3, &StreamParams::mixed(6, 2e6));
+        let records = run_colocation(&cfg, &stream, 3);
+        assert_eq!(records.len(), 6);
+        for r in &records {
+            assert!(r.admitted_ns >= r.arrival_ns - 1e-9, "admitted before arrival");
+            assert!(r.finish_ns > r.admitted_ns, "zero-length job");
+            assert!(r.isolated_ns > 0.0);
+            assert!(r.slowdown() > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cfg = quick_config(SharingPolicy::InterferenceAware);
+        let stream = generate_stream(5, &StreamParams::mixed(5, 1e6));
+        let a = run_colocation(&cfg, &stream, 5);
+        let b = run_colocation(&cfg, &stream, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish_ns, y.finish_ns);
+            assert_eq!(x.admitted_ns, y.admitted_ns);
+        }
+    }
+
+    #[test]
+    fn warm_start_kicks_in_for_repeat_workloads() {
+        // Sequential identical jobs (huge inter-arrival gap): the second one
+        // must be warm-started and skip the exploration the first one paid.
+        let cfg = quick_config(SharingPolicy::Naive);
+        let p = StreamParams {
+            jobs: 2,
+            mean_interarrival_ns: 1e12,
+            mix: vec![Workload::Cg],
+            steps: 2,
+            high_priority_fraction: 0.0,
+        };
+        let stream = generate_stream(1, &p);
+        let mut records = run_colocation(&cfg, &stream, 1);
+        records.sort_by_key(|r| r.id);
+        assert!(!records[0].warm_started);
+        assert!(records[1].warm_started);
+        assert!(
+            records[1].exec_ns() < records[0].exec_ns(),
+            "warm job ({:.0}ns) not faster than cold job ({:.0}ns)",
+            records[1].exec_ns(),
+            records[0].exec_ns()
+        );
+    }
+
+    #[test]
+    fn warm_start_can_be_disabled() {
+        let mut cfg = quick_config(SharingPolicy::Naive);
+        cfg.warm_start = false;
+        let p = StreamParams {
+            jobs: 2,
+            mean_interarrival_ns: 1e12,
+            mix: vec![Workload::Cg],
+            steps: 1,
+            high_priority_fraction: 0.0,
+        };
+        let stream = generate_stream(1, &p);
+        let records = run_colocation(&cfg, &stream, 1);
+        assert!(records.iter().all(|r| !r.warm_started));
+    }
+
+    #[test]
+    fn hungry_hint_reads_the_stored_ptt() {
+        let mut store = PttStore::default();
+        assert_eq!(store.hungry_hint(Workload::Cg, 4), None);
+        // A PTT that settled at 4 threads in an 8-core (2-node) partition.
+        let mut ptt = Ptt::new();
+        ptt.record(
+            ilan::SiteId::new(0),
+            4,
+            ilan_topology::NodeMask::first_n(1),
+            ilan::StealPolicy::Strict,
+            &ilan::TaskloopReport::synthetic(100.0, 4),
+        );
+        store.save(Workload::Cg, 2, &ptt);
+        assert_eq!(store.hungry_hint(Workload::Cg, 4), Some(true));
+        assert_eq!(store.hungry_hint(Workload::Sp, 4), None);
+        // A PTT settled at full capacity reads as not hungry.
+        let mut full = Ptt::new();
+        full.record(
+            ilan::SiteId::new(0),
+            8,
+            ilan_topology::NodeMask::first_n(2),
+            ilan::StealPolicy::Strict,
+            &ilan::TaskloopReport::synthetic(100.0, 8),
+        );
+        let mut store2 = PttStore::default();
+        store2.save(Workload::Sp, 2, &full);
+        assert_eq!(store2.hungry_hint(Workload::Sp, 4), Some(false));
+    }
+}

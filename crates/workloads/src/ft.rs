@@ -313,13 +313,13 @@ pub fn fft3d_native(
         }
     };
 
-    for axis in 0..3 {
+    for (axis, &axis_site) in site.iter().enumerate() {
         let pencils = n * n;
         let grain = (pencils / 64).max(1);
         let re = SyncSlice::new(&mut cube.re);
         let im = SyncSlice::new(&mut cube.im);
         let (_, rep) =
-            run_native_invocation(pool, policy, site[axis], 0..pencils, grain, |range| {
+            run_native_invocation(pool, policy, axis_site, 0..pencils, grain, |range| {
                 let mut pr = vec![0.0; n];
                 let mut pi = vec![0.0; n];
                 for l in range {

@@ -1,0 +1,285 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A timing harness with criterion's API shape: benchmark groups,
+//! `iter`/`iter_custom`/`iter_batched`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros. It measures wall-clock
+//! samples and reports min/mean/max — no outlier analysis, no HTML reports.
+//! Like upstream, running a bench target without `--bench` (as `cargo test`
+//! does) executes each benchmark once as a smoke test instead of measuring.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group; folded into the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; the stand-in always sets up per
+/// sample, so the variants only differ upstream.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input for every iteration.
+    PerIteration,
+    /// Inputs batched in small groups.
+    SmallInput,
+    /// Inputs batched in large groups.
+    LargeInput,
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    /// Full measurement when invoked with `--bench` (cargo bench); a single
+    /// smoke iteration otherwise (cargo test).
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+            measure: self.measure,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("")
+            .bench_function(id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    measure: bool,
+}
+
+impl BenchmarkGroup {
+    /// Target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark; sampling stops at the budget even if
+    /// fewer samples were collected.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates per-iteration throughput, reported as elements or bytes
+    /// per second next to the timing.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.measure { self.sample_size } else { 1 },
+            budget: if self.measure {
+                self.measurement_time
+            } else {
+                Duration::ZERO
+            },
+        };
+        f(&mut bencher);
+        report(&label, &bencher.samples, self.throughput, self.measure);
+        self
+    }
+
+    /// Ends the group. (All reporting already happened per benchmark.)
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>, measure: bool) {
+    if samples.is_empty() {
+        println!("{label:<60} (no samples)");
+        return;
+    }
+    if !measure {
+        println!("{label:<60} ok (smoke)");
+        return;
+    }
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = secs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / mean)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / mean)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<60} time: [{} {} {}]{rate}  ({} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn sampling_done(&self, started: Instant) -> bool {
+        self.samples.len() >= self.sample_size
+            || (!self.samples.is_empty() && started.elapsed() >= self.budget)
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let started = Instant::now();
+        while !self.sampling_done(started) {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times a routine that measures itself: it receives an iteration count
+    /// and returns the total elapsed time for that many iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let started = Instant::now();
+        loop {
+            self.samples.push(routine(1));
+            if self.sampling_done(started) {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs created by `setup`; setup time is not
+    /// included in the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.sampling_done(started) {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { measure: true };
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut n = 0u64;
+        group.bench_function("iter", |b| b.iter(|| n += 1));
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_micros(10)
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(n >= 5);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut count = 0;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        // One warm-up call plus one sample.
+        assert_eq!(count, 2);
+    }
+}

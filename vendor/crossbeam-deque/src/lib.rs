@@ -1,0 +1,271 @@
+//! Offline stand-in for `crossbeam-deque` (see `vendor/README.md`).
+//!
+//! Same types, same move semantics, same `Steal` result protocol as the
+//! upstream Chase–Lev implementation; backed by `Mutex<VecDeque>` instead of
+//! lock-free buffers. Since a mutexed queue can always decide emptiness,
+//! this implementation never returns [`Steal::Retry`] — callers that loop on
+//! `Retry` (the documented idiom) behave identically.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Upstream steals at most this many tasks in one batch.
+const MAX_BATCH: usize = 32;
+
+/// Outcome of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen (any batched extras went to the destination).
+    Success(T),
+    /// The attempt lost a race and should be retried. Never produced by this
+    /// stand-in, but part of the public protocol.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task if the attempt succeeded.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A worker's own end of a work queue. Only the owner pushes and pops;
+/// everyone else goes through a [`Stealer`] handle.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a LIFO worker queue. The mutex-backed stand-in distinguishes
+    /// the flavours only in [`pop`](Worker::pop) order; this constructor
+    /// exists for API parity and behaves as FIFO.
+    pub fn new_lifo() -> Worker<T> {
+        Worker::new_fifo()
+    }
+
+    /// Creates a [`Stealer`] handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pops the next task, if any.
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_front()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// A handle for stealing from another worker's queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals up to half of the victim's tasks (capped at the upstream batch
+    /// limit), moving all but the first into `dest` and returning the first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = {
+            let mut src = locked(&self.queue);
+            let take = src.len().div_ceil(2).min(MAX_BATCH + 1);
+            src.drain(..take).collect::<Vec<T>>()
+        };
+        let mut it = batch.into_iter();
+        match it.next() {
+            None => Steal::Empty,
+            Some(first) => {
+                let mut dst = locked(&dest.queue);
+                dst.extend(it);
+                Steal::Success(first)
+            }
+        }
+    }
+}
+
+/// A global FIFO queue any thread may push to and steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Steals one task.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks (up to the upstream batch limit), moving all
+    /// but the first into `dest` and returning the first.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = {
+            let mut src = locked(&self.queue);
+            let take = src.len().min(MAX_BATCH + 1);
+            src.drain(..take).collect::<Vec<T>>()
+        };
+        let mut it = batch.into_iter();
+        match it.next() {
+            None => Steal::Empty,
+            Some(first) => {
+                let mut dst = locked(&dest.queue);
+                dst.extend(it);
+                Steal::Success(first)
+            }
+        }
+    }
+
+    /// Whether the injector is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_fifo_order() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_batch_steal_moves_rest_to_dest() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Everything else landed in the destination deque, in order.
+        let mut got = Vec::new();
+        while let Some(i) = w.pop() {
+            got.push(i);
+        }
+        assert_eq!(got, (1..10).collect::<Vec<_>>());
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+    }
+
+    #[test]
+    fn stealer_takes_half() {
+        let victim = Worker::new_fifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let thief = Worker::new_fifo();
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.len(), 3); // half of 8, minus the popped one
+        assert_eq!(victim.len(), 4);
+    }
+
+    #[test]
+    fn cross_thread_stealing_conserves_tasks() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = std::sync::Arc::clone(&inj);
+            let total = std::sync::Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                let w = Worker::new_fifo();
+                let mut count = 0;
+                loop {
+                    let task = w.pop().or_else(|| inj.steal_batch_and_pop(&w).success());
+                    if task.is_none() {
+                        break;
+                    }
+                    count += 1;
+                }
+                total.fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for `crossbeam-utils` (see `vendor/README.md`).
+//!
+//! Provides only [`CachePadded`], the sole item this workspace uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, so that two
+/// `CachePadded` values never share one and false sharing is avoided.
+///
+/// 128 bytes covers the adjacent-line prefetcher pairs of x86-64 and the
+/// large lines of some aarch64 parts, matching upstream's conservative
+/// choice for those targets.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_and_transparent() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

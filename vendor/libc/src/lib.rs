@@ -1,0 +1,103 @@
+//! Offline stand-in for `libc` (see `vendor/README.md`).
+//!
+//! Declares exactly the Linux CPU-affinity subset this workspace uses:
+//! `cpu_set_t`, `CPU_SET`, `CPU_SETSIZE`, and `sched_setaffinity`. Layouts
+//! match glibc (a 1024-bit mask stored as unsigned longs), so the syscall
+//! sees the same bytes it would from the real crate.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// C `int`.
+pub type c_int = i32;
+/// POSIX process id.
+pub type pid_t = i32;
+/// C `size_t`.
+pub type size_t = usize;
+
+/// Number of CPUs representable in a [`cpu_set_t`] (glibc value).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const ULONG_BITS: usize = usize::BITS as usize;
+const MASK_WORDS: usize = CPU_SETSIZE as usize / ULONG_BITS;
+
+/// A fixed-size CPU mask, bit `n` = CPU `n`. Layout-compatible with glibc's
+/// `cpu_set_t` (an array of unsigned longs totalling 128 bytes on 64-bit).
+#[repr(C)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct cpu_set_t {
+    bits: [usize; MASK_WORDS],
+}
+
+/// Adds CPU `cpu` to `cpuset`. Out-of-range CPUs are ignored, as with the
+/// glibc macro.
+///
+/// # Safety
+/// Safe in this implementation; declared `unsafe` for signature parity with
+/// the upstream crate.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        cpuset.bits[cpu / ULONG_BITS] |= 1usize << (cpu % ULONG_BITS);
+    }
+}
+
+/// Whether CPU `cpu` is in `cpuset`.
+///
+/// # Safety
+/// Safe in this implementation; declared `unsafe` for signature parity with
+/// the upstream crate.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && cpuset.bits[cpu / ULONG_BITS] & (1usize << (cpu % ULONG_BITS)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Sets the CPU affinity mask of `pid` (0 = the calling thread).
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+}
+
+/// Non-Linux fallback so the crate still compiles there; always fails with
+/// -1 like an unsupported syscall. The workspace only calls this on Linux.
+///
+/// # Safety
+/// Safe in this implementation; declared `unsafe` for signature parity.
+#[cfg(not(target_os = "linux"))]
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn sched_setaffinity(_pid: pid_t, _cpusetsize: size_t, _cpuset: *const cpu_set_t) -> c_int {
+    -1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+
+    #[test]
+    fn set_and_test_bits() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_SET(0, &mut set);
+            CPU_SET(77, &mut set);
+            CPU_SET(100_000, &mut set); // ignored, out of range
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(77, &set));
+            assert!(!CPU_ISSET(1, &set));
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn affinity_call_links_and_runs() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_SET(0, &mut set);
+            // CPU 0 exists on any machine running this test.
+            assert_eq!(sched_setaffinity(0, std::mem::size_of::<cpu_set_t>(), &set), 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for `parking_lot` (see `vendor/README.md`).
+//!
+//! Wraps `std::sync::{Mutex, Condvar}` behind parking_lot's non-poisoning
+//! API: `lock()` returns the guard directly and a poisoned lock is recovered
+//! rather than surfaced, which matches parking_lot's semantics (it has no
+//! poisoning at all).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual exclusion primitive. `lock()` never fails; a lock whose previous
+/// holder panicked simply hands out the (possibly inconsistent) data, as
+/// upstream parking_lot does.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data (no locking
+    /// needed: the exclusive borrow guarantees exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII guard of a locked [`Mutex`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`].
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks the current thread until this condition variable is notified,
+    /// atomically releasing and (on wake) re-acquiring the guarded mutex.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the inner std guard is moved out for the duration of the
+        // wait and an equivalent guard (same mutex, re-locked) is written
+        // back before anyone can observe `guard` again. `sync::Condvar::wait`
+        // only unwinds on a poisoned mutex, which `into_inner` converts back
+        // into a live guard, so the write always happens.
+        unsafe {
+            let inner = std::ptr::read(&guard.inner);
+            let inner = self
+                .inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(&mut guard.inner, inner);
+        }
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            c.wait(&mut g);
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `rand` 0.9 (see `vendor/README.md`).
+//!
+//! Implements the subset this workspace uses: a seedable [`rngs::StdRng`]
+//! and the [`Rng`] extension methods `random` / `random_range` for the
+//! primitive types the simulator and server draw. The generator is
+//! xoshiro256++ seeded through SplitMix64 — a different stream than
+//! upstream's ChaCha12-based `StdRng`, but every consumer in this workspace
+//! treats the stream as an opaque seeded source, so only determinism and
+//! statistical quality matter.
+
+/// Core trait of random number generators: a source of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods for generating typed values.
+pub trait Rng: RngCore {
+    /// Generates a value via the standard distribution of `T`: uniform over
+    /// the whole domain for integers and `bool`, uniform in `[0, 1)` for
+    /// floats.
+    fn random<T: distr::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Generates a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Distribution plumbing behind [`Rng::random`] and [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// Types samplable by [`Rng::random`](super::Rng::random).
+    pub trait StandardSample: Sized {
+        /// Draws one value from the type's standard distribution.
+        fn sample<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardSample for $t {
+                fn sample<R: RngCore>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl StandardSample for bool {
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for f64 {
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        /// Uniform in `[0, 1)` with 24 bits of precision.
+        fn sample<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Ranges samplable by [`Rng::random_range`](super::Rng::random_range).
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive) via 128-bit widening multiply
+    /// (Lemire's method, bias-free for every span this repo uses).
+    pub(crate) fn uniform_u64<R: RngCore>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let bound = span + 1;
+        let hi_part = ((rng.next_u64() as u128 * bound as u128) >> 64) as u64;
+        lo + hi_part
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from an empty range");
+                    uniform_u64(rng, self.start as u64, self.end as u64 - 1) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    uniform_u64(rng, *self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeFrom<$t> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                    uniform_u64(rng, self.start as u64, <$t>::MAX as u64) as $t
+                }
+            }
+        )*};
+    }
+    range_int!(u8, u16, u32, u64, usize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample from an empty range");
+            let u = f64::sample(rng);
+            self.start + u * (self.end - self.start)
+        }
+    }
+}
+
+/// SplitMix64 step, used to expand seeds into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (Blackman & Vigna), seeded via
+    /// SplitMix64 as its authors recommend.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let i = rng.random_range(2usize..8);
+            assert!((2..8).contains(&i));
+            seen[i - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1_000 {
+            let x = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+        assert_eq!(rng.random_range(5u64..=5), 5);
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+}
