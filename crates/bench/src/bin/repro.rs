@@ -35,7 +35,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|all> \
+    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|trace|all> \
      [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]] \
      [--jobs N] [--seed S]"
 }
@@ -112,6 +112,7 @@ fn main() -> ExitCode {
         "converge",
         "bandwidth",
         "colo",
+        "trace",
         "all",
     ];
     if !valid.contains(&args.artifact.as_str()) {
@@ -126,6 +127,15 @@ fn main() -> ExitCode {
     }
     if args.artifact == "converge" {
         println!("{}", figures::converge(&args.topology, args.scale));
+        return ExitCode::SUCCESS;
+    }
+    if args.artifact == "trace" {
+        // Fully traced CG run: per-invocation audits, steal matrix, and
+        // (with --out) the Chrome-trace JSON for chrome://tracing.
+        print!(
+            "{}",
+            figures::trace_artifact(&args.topology, args.scale, args.seed, args.out.as_deref())
+        );
         return ExitCode::SUCCESS;
     }
     if args.artifact == "colo" {

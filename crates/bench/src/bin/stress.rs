@@ -1,0 +1,41 @@
+//! `stress` — randomized stress-audit soak for the native runtime.
+//!
+//! Draws seeded random taskloop shapes, executes each traced, and replays
+//! the event logs through the `ilan-trace` auditor. Prints the
+//! seed-deterministic summary and exits non-zero on any invariant
+//! violation.
+//!
+//! ```text
+//! cargo run --release -p ilan-bench --bin stress -- --seed 42 --iters 50
+//! ```
+
+use ilan_bench::stress::{run_stress, StressConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: stress [--seed N] [--iters N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut seed = 42u64;
+    let mut iters = 50usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let summary = run_stress(&StressConfig::new(seed, iters));
+    println!("{summary}");
+    if !summary.ok() {
+        std::process::exit(1);
+    }
+}

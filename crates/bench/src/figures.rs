@@ -401,6 +401,104 @@ pub fn converge(topology: &ilan_topology::Topology, scale: ilan_workloads::Scale
     out
 }
 
+/// Extension artifact: a fully traced CG run under ILAN — every invocation's
+/// scheduler event log is audited against its outcome, the merged log's
+/// inter-node steal matrix is printed, and with `out` the Chrome-trace JSON
+/// (`chrome://tracing` / Perfetto) is written as `trace_cg.json`.
+pub fn trace_artifact(
+    topology: &ilan_topology::Topology,
+    scale: ilan_workloads::Scale,
+    seed: u64,
+    out: Option<&Path>,
+) -> String {
+    use ilan::driver::{active_cores, build_plan};
+    use ilan::{Decision, IlanParams, IlanScheduler, Policy, SiteId, TaskloopReport};
+    use ilan_numasim::trace::{audit, AuditExpect, EventLog, NodeTally};
+    use ilan_numasim::{MachineParams, SimMachine};
+
+    let app = Workload::Cg.sim_app(topology, scale);
+    let mut machine = SimMachine::new(MachineParams::for_topology(topology), seed);
+    let mut sched = IlanScheduler::new(IlanParams::for_topology(topology));
+
+    let mut merged = EventLog::default();
+    let mut invocations = 0usize;
+    let mut clean = 0usize;
+    let mut violations = Vec::new();
+    for step in 0..app.steps {
+        for &site_idx in &app.schedule {
+            let site = SiteId::new(site_idx as u64);
+            let tasks = &app.sites[site_idx].tasks;
+            let decision = sched.decide(site);
+            let cores = match &decision {
+                Decision::Flat | Decision::WorkSharing => {
+                    topology.cpuset_of_mask(topology.all_nodes())
+                }
+                Decision::Hierarchical { mask, threads, .. } => {
+                    active_cores(topology, *mask, *threads)
+                }
+            };
+            let plan = build_plan(&decision, tasks.len());
+            let outcome = machine.run_taskloop_traced(&cores, &plan, tasks);
+            let expect = AuditExpect {
+                migrations: Some(outcome.migrations),
+                latch_releases: Some(outcome.threads),
+                per_node: Some(
+                    outcome
+                        .nodes
+                        .iter()
+                        .map(|n| NodeTally {
+                            tasks: n.tasks,
+                            local_tasks: None,
+                        })
+                        .collect(),
+                ),
+            };
+            let report = audit(&outcome.events, &expect);
+            invocations += 1;
+            if report.ok() {
+                clean += 1;
+            } else {
+                for v in &report.violations {
+                    violations.push(format!("step {step} site {site_idx}: {v}"));
+                }
+            }
+            merged.merge(&outcome.events);
+
+            let mut tr = TaskloopReport::from(&outcome);
+            let cost = sched.decision_overhead_ns();
+            tr.time_ns += cost;
+            tr.sched_overhead_ns += cost;
+            machine.advance_serial(cost);
+            sched.record(site, &decision, &tr);
+        }
+        machine.advance_serial(app.serial_ns);
+    }
+
+    let mut out_text = format!(
+        "== Trace — CG under ILAN, every invocation audited (seed {seed}) ==\n\
+         invocations: {invocations}  audited clean: {clean}  events: {}\n\
+         local pops: {}  intra-node steals: {}  inter-node steals: {}\n",
+        merged.len(),
+        merged.local_pops(),
+        merged.intra_node_steals(),
+        merged.inter_node_steals(),
+    );
+    for v in &violations {
+        out_text.push_str(&format!("  ! {v}\n"));
+    }
+    out_text.push_str(&merged.render_steal_matrix());
+    if let Some(dir) = out {
+        let path = dir.join("trace_cg.json");
+        match std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, merged.chrome_trace_json()))
+        {
+            Ok(()) => out_text.push_str(&format!("chrome trace: {}\n", path.display())),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    out_text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +524,26 @@ mod tests {
             assert!(text.contains("Matmul"));
             assert!(text.lines().count() >= 9);
         }
+    }
+
+    #[test]
+    fn trace_artifact_audits_clean() {
+        let topo = presets::epyc_9354_2s();
+        let text = trace_artifact(&topo, Scale::Quick, 7, None);
+        assert!(text.contains("steal matrix"), "{text}");
+        assert!(!text.contains('!'), "audit violations:\n{text}");
+        // Every invocation audited clean.
+        let line = text.lines().nth(1).unwrap();
+        let grab = |key: &str| {
+            let rest = &line[line.find(key).unwrap() + key.len()..];
+            rest.split_whitespace()
+                .next()
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(grab("invocations:"), grab("clean:"));
+        assert!(grab("events:") > 0);
     }
 
     #[test]

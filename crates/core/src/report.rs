@@ -125,6 +125,7 @@ mod tests {
             migrations: 1,
             threads: 8,
             trace: Vec::new(),
+            events: Default::default(),
         };
         let r = TaskloopReport::from(&o);
         assert_eq!(r.time_ns, 5000.0);

@@ -22,8 +22,12 @@
 //!
 //! Simplifications relative to [`SimMachine`]: no outlier windows (per-core
 //! frequency jitter still applies — it is drawn once per machine), no
-//! per-chunk tracing, and scheduling actions (pops/steals) are not slowed by
-//! oversubscription — only chunk execution is.
+//! per-chunk [`TaskRecord`](crate::TaskRecord) tracing, and scheduling
+//! actions (pops/steals) are not slowed by oversubscription — only chunk
+//! execution is. Scheduler *event* tracing is available: after
+//! [`set_tracing`](ColoMachine::set_tracing), every completed loop's
+//! [`LoopOutcome::events`] carries its auditable event log (timestamps on
+//! the machine-global clock).
 //!
 //! Determinism: lanes are iterated in index order at every event, so a given
 //! machine seed and call sequence replays exactly.
@@ -35,6 +39,7 @@ use crate::plan::PlacementPlan;
 use crate::rates::{chunk_duration, CongestionField};
 use crate::task::TaskSpec;
 use ilan_topology::{CpuSet, NodeId, Topology};
+use ilan_trace::{EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -56,6 +61,8 @@ struct LaneRun {
     nodes_out: Vec<NodeOutcome>,
     migrations: usize,
     rng_state: u64,
+    /// Scheduler event recorder (present only when the machine traces).
+    recorder: Option<Recorder>,
 }
 
 impl LaneRun {
@@ -82,6 +89,8 @@ pub struct ColoMachine {
     /// Scratch: number of running chunks per core, across all lanes.
     core_load: Vec<usize>,
     finished: VecDeque<(usize, LoopOutcome)>,
+    /// Whether loops started from now on record scheduler events.
+    tracing: bool,
 }
 
 impl ColoMachine {
@@ -108,7 +117,15 @@ impl ColoMachine {
             field: CongestionField::new(num_nodes, num_sockets),
             core_load: vec![0; num_cores],
             finished: VecDeque::new(),
+            tracing: false,
         }
+    }
+
+    /// Enables (or disables) scheduler event tracing for loops started from
+    /// now on; completed traced loops report their log in
+    /// [`LoopOutcome::events`]. Loops already in flight are unaffected.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     /// The machine's topology.
@@ -168,6 +185,7 @@ impl ColoMachine {
         let topo = &self.params.topology;
         let (workers, node_worker_count) = make_workers(topo, active);
         let perm_seed: u64 = rand::Rng::random(&mut self.rng);
+        let mut recorder = self.tracing.then(Recorder::new);
         let pools = PoolSet::build(
             plan,
             tasks.len(),
@@ -175,6 +193,8 @@ impl ColoMachine {
             &node_worker_count,
             topo.num_nodes(),
             perm_seed,
+            recorder.as_mut(),
+            self.now_ns,
         );
         let dispatch = pools.dispatch_ns(&self.params, tasks.len());
         self.lanes[lane] = Some(LaneRun {
@@ -189,6 +209,7 @@ impl ColoMachine {
             nodes_out: vec![NodeOutcome::default(); topo.num_nodes()],
             migrations: 0,
             rng_state: perm_seed ^ 0xD1B54A32D192ED03,
+            recorder,
         });
     }
 
@@ -247,6 +268,7 @@ impl ColoMachine {
                                 &mut lane.rng_state,
                                 &mut lane.overhead_ns,
                                 &mut lane.migrations,
+                                lane.recorder.as_mut(),
                             );
                             any = true;
                         }
@@ -269,6 +291,17 @@ impl ColoMachine {
                     for w in &lane.workers {
                         if let WorkerState::Parked { since } = w.state {
                             lane.overhead_ns += self.now_ns - since;
+                        }
+                    }
+                    // Each worker releases the exit latch at barrier entry.
+                    if let Some(recorder) = &mut lane.recorder {
+                        for w in &lane.workers {
+                            recorder.push(
+                                w.core.index() as u32,
+                                w.node as u32,
+                                self.now_ns as u64,
+                                EventKind::LatchRelease,
+                            );
                         }
                     }
                     let threads = lane.workers.len();
@@ -410,6 +443,8 @@ impl ColoMachine {
                 *b -= dt;
                 if *b <= EPS {
                     let lane = slot.take().expect("lane present");
+                    let num_cores = self.params.topology.num_cores();
+                    let num_nodes = lane.nodes_out.len();
                     self.finished.push_back((
                         id,
                         LoopOutcome {
@@ -419,6 +454,10 @@ impl ColoMachine {
                             migrations: lane.migrations,
                             threads: lane.workers.len(),
                             trace: Vec::new(),
+                            events: lane
+                                .recorder
+                                .map(|r| r.into_log(num_cores, num_nodes))
+                                .unwrap_or_default(),
                         },
                     ));
                 }
@@ -430,6 +469,14 @@ impl ColoMachine {
                         *remaining_ns -= dt;
                         if *remaining_ns <= EPS {
                             let t = *next;
+                            if let Some(recorder) = &mut lane.recorder {
+                                recorder.push(
+                                    w.core.index() as u32,
+                                    w.node as u32,
+                                    self.now_ns as u64,
+                                    EventKind::ChunkStart { chunk: t as u32 },
+                                );
+                            }
                             w.state = begin_chunk(
                                 &self.params.topology,
                                 &self.params,
@@ -450,6 +497,14 @@ impl ColoMachine {
                         *elapsed_ns += dt;
                         if *remaining <= EPS {
                             let spec = &lane.tasks[*task];
+                            if let Some(recorder) = &mut lane.recorder {
+                                recorder.push(
+                                    w.core.index() as u32,
+                                    w.node as u32,
+                                    self.now_ns as u64,
+                                    EventKind::ChunkEnd { chunk: *task as u32 },
+                                );
+                            }
                             let node = &mut lane.nodes_out[w.node];
                             node.tasks += 1;
                             node.busy_ns += *elapsed_ns;
@@ -707,6 +762,52 @@ mod tests {
         let t = colo.now_ns() + 500.0;
         assert!(colo.run_until_ns(t).is_none());
         assert!((colo.now_ns() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_lanes_audit_clean() {
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
+        colo.set_tracing(true);
+        let a = colo.add_lane();
+        let b = colo.add_lane();
+        colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), 0.0);
+        colo.start_loop(b, &cores, &PlacementPlan::flat(), both_home_tasks(24, 2), 500.0);
+        let mut seen = 0;
+        while let Some((_, out)) = colo.run_until_next_completion() {
+            seen += 1;
+            assert!(!out.events.is_empty(), "traced lane must carry events");
+            let expect = ilan_trace::AuditExpect {
+                migrations: Some(out.migrations),
+                latch_releases: Some(out.threads),
+                per_node: Some(
+                    out.nodes
+                        .iter()
+                        .map(|n| ilan_trace::NodeTally {
+                            tasks: n.tasks,
+                            // Sim locality is defined against data homes,
+                            // which the placement-plan event log cannot see.
+                            local_tasks: None,
+                        })
+                        .collect(),
+                ),
+            };
+            let audit = ilan_trace::audit(&out.events, &expect);
+            assert!(audit.ok(), "audit violations: {audit}");
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn untraced_lanes_carry_no_events() {
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
+        let a = colo.add_lane();
+        colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), 0.0);
+        let (_, out) = colo.run_until_next_completion().unwrap();
+        assert!(out.events.is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::plan::PlacementPlan;
 use crate::rates::{chunk_duration, CongestionField};
 use crate::task::TaskSpec;
 use ilan_topology::{CpuSet, NodeId};
+use ilan_trace::{EventKind, Recorder};
 
 pub(crate) struct Engine<'a> {
     params: &'a MachineParams,
@@ -43,9 +44,12 @@ pub(crate) struct Engine<'a> {
     rng_state: u64,
     /// Per-chunk execution records (empty unless tracing).
     trace: Option<Vec<TaskRecord>>,
+    /// Scheduler event recorder (present only for traced runs).
+    recorder: Option<Recorder>,
 }
 
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)] // invocation-time facts, used once
     pub(crate) fn new(
         params: &'a MachineParams,
         freqs: &'a [f64],
@@ -54,10 +58,12 @@ impl<'a> Engine<'a> {
         active: &CpuSet,
         plan: &PlacementPlan,
         tasks: &'a [TaskSpec],
+        traced: bool,
     ) -> Self {
         let topo = &params.topology;
         let num_nodes = topo.num_nodes();
         let (workers, node_worker_count) = make_workers(topo, active);
+        let mut recorder = traced.then(Recorder::new);
         let pools = PoolSet::build(
             plan,
             tasks.len(),
@@ -65,6 +71,8 @@ impl<'a> Engine<'a> {
             &node_worker_count,
             num_nodes,
             perm_seed,
+            recorder.as_mut(),
+            0.0,
         );
 
         Engine {
@@ -81,13 +89,9 @@ impl<'a> Engine<'a> {
             migrations: 0,
             field: CongestionField::new(num_nodes, topo.num_sockets()),
             rng_state: perm_seed ^ 0xD1B54A32D192ED03,
-            trace: None,
+            trace: traced.then(|| Vec::with_capacity(tasks.len())),
+            recorder,
         }
-    }
-
-    /// Enables per-chunk execution tracing.
-    pub(crate) fn enable_trace(&mut self) {
-        self.trace = Some(Vec::with_capacity(self.tasks.len()));
     }
 
     pub(crate) fn run(mut self) -> LoopOutcome {
@@ -113,6 +117,7 @@ impl<'a> Engine<'a> {
                             &mut self.rng_state,
                             &mut self.overhead_ns,
                             &mut self.migrations,
+                            self.recorder.as_mut(),
                         );
                         any = true;
                     }
@@ -159,12 +164,24 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Closing barrier.
+        // Closing barrier; each worker releases the exit latch as it enters.
+        if let Some(recorder) = &mut self.recorder {
+            for w in &self.workers {
+                recorder.push(
+                    w.core.index() as u32,
+                    w.node as u32,
+                    self.now as u64,
+                    EventKind::LatchRelease,
+                );
+            }
+        }
         let threads = self.workers.len();
         let barrier = self.params.barrier_base_ns * (threads.max(2) as f64).log2();
         self.now += barrier;
         self.overhead_ns += barrier;
 
+        let num_cores = self.params.topology.num_cores();
+        let num_nodes = self.nodes_out.len();
         LoopOutcome {
             makespan_ns: self.now,
             sched_overhead_ns: self.overhead_ns,
@@ -172,6 +189,10 @@ impl<'a> Engine<'a> {
             migrations: self.migrations,
             threads,
             trace: self.trace.unwrap_or_default(),
+            events: self
+                .recorder
+                .map(|r| r.into_log(num_cores, num_nodes))
+                .unwrap_or_default(),
         }
     }
 
@@ -241,6 +262,14 @@ impl<'a> Engine<'a> {
                     *remaining_ns -= dt;
                     if *remaining_ns <= EPS {
                         let t = *next;
+                        if let Some(recorder) = &mut self.recorder {
+                            recorder.push(
+                                w.core.index() as u32,
+                                w.node as u32,
+                                self.now as u64,
+                                EventKind::ChunkStart { chunk: t as u32 },
+                            );
+                        }
                         w.state = begin_chunk(
                             &self.params.topology,
                             self.params,
@@ -268,6 +297,14 @@ impl<'a> Engine<'a> {
                                 start_ns: self.now - *elapsed_ns,
                                 end_ns: self.now,
                             });
+                        }
+                        if let Some(recorder) = &mut self.recorder {
+                            recorder.push(
+                                w.core.index() as u32,
+                                w.node as u32,
+                                self.now as u64,
+                                EventKind::ChunkEnd { chunk: *task as u32 },
+                            );
                         }
                         let node = &mut self.nodes_out[w.node];
                         node.tasks += 1;

@@ -12,6 +12,7 @@ use crate::plan::PlacementPlan;
 use crate::rates::{desired_bandwidth, traffic_rows};
 use crate::task::TaskSpec;
 use ilan_topology::{CoreId, CpuSet, Topology};
+use ilan_trace::{EventKind, Recorder, DISPATCHER};
 use std::collections::VecDeque;
 
 /// Numerical slack for "remaining work is zero" tests.
@@ -70,7 +71,11 @@ pub(crate) enum PoolSet {
 }
 
 impl PoolSet {
-    /// Materializes a plan into pools for the given worker set.
+    /// Materializes a plan into pools for the given worker set. When a
+    /// `tracer` is supplied, one [`EventKind::ChunkEnqueue`] is recorded per
+    /// chunk (home = the node whose pool — or whose worker's deque — receives
+    /// it) at dispatch time `now_ns`.
+    #[allow(clippy::too_many_arguments)] // internal, shared by two engines
     pub(crate) fn build(
         plan: &PlacementPlan,
         num_tasks: usize,
@@ -78,8 +83,24 @@ impl PoolSet {
         node_worker_count: &[usize],
         num_nodes: usize,
         perm_seed: u64,
+        mut tracer: Option<&mut Recorder>,
+        now_ns: f64,
     ) -> PoolSet {
         plan.validate(num_tasks);
+        let enqueue = |tracer: &mut Option<&mut Recorder>, chunk: usize, home: usize, strict: bool| {
+            if let Some(tr) = tracer.as_deref_mut() {
+                tr.push(
+                    DISPATCHER,
+                    home as u32,
+                    now_ns as u64,
+                    EventKind::ChunkEnqueue {
+                        chunk: chunk as u32,
+                        home: home as u32,
+                        strict,
+                    },
+                );
+            }
+        };
         match plan {
             PlacementPlan::Flat => {
                 // Contiguous blocks (taskloop splitting) assigned to workers
@@ -95,6 +116,9 @@ impl PoolSet {
                 for (slot, &wi) in order.iter().enumerate() {
                     let lo = slot * num_tasks / w;
                     let hi = (slot + 1) * num_tasks / w;
+                    for c in lo..hi {
+                        enqueue(&mut tracer, c, workers[wi].node, false);
+                    }
                     per_worker[wi].extend(lo..hi);
                 }
                 PoolSet::Flat(per_worker)
@@ -113,6 +137,9 @@ impl PoolSet {
                         "plan assigns tasks to {} but no active core lives there",
                         a.node
                     );
+                    for (j, &c) in a.tasks.iter().enumerate() {
+                        enqueue(&mut tracer, c, a.node.index(), j < a.strict_count);
+                    }
                     pool.queue.extend(a.tasks.iter().copied());
                     pool.strict_remaining += a.strict_count;
                 }
@@ -124,6 +151,9 @@ impl PoolSet {
                 for (i, q) in per_worker.iter_mut().enumerate() {
                     let lo = i * num_tasks / w;
                     let hi = (i + 1) * num_tasks / w;
+                    for c in lo..hi {
+                        enqueue(&mut tracer, c, workers[i].node, false);
+                    }
                     q.extend(lo..hi);
                 }
                 PoolSet::Static(per_worker)
@@ -213,6 +243,11 @@ pub(crate) fn make_workers(topo: &Topology, active: &CpuSet) -> (Vec<Worker>, Ve
 /// machine shared by both engines. Mutates the worker's state (to Overhead or
 /// Parked), accumulates scheduling overhead and migrations, and — on a
 /// hierarchical batch steal — wakes parked peers on the thief's node.
+///
+/// With a `tracer`, every acquisition is recorded: pops as
+/// [`EventKind::LocalPop`], batch transfers element-wise as
+/// [`EventKind::InterNodeSteal`] (cross-node, matching the engines'
+/// at-steal-time migration accounting) or [`EventKind::IntraNodeSteal`].
 #[allow(clippy::too_many_arguments)] // internal hot path shared by two engines
 pub(crate) fn seek(
     pools: &mut PoolSet,
@@ -224,11 +259,20 @@ pub(crate) fn seek(
     rng_state: &mut u64,
     overhead_ns: &mut f64,
     migrations: &mut usize,
+    mut tracer: Option<&mut Recorder>,
 ) {
     let node = workers[i].node;
+    let me = workers[i].core.index() as u32;
+    let my_node = node as u32;
+    let record = |tracer: &mut Option<&mut Recorder>, kind: EventKind| {
+        if let Some(tr) = tracer.as_deref_mut() {
+            tr.push(me, my_node, now as u64, kind);
+        }
+    };
     let (task, cost) = match pools {
         PoolSet::Flat(qs) => {
             if let Some(t) = qs[i].pop_front() {
+                record(&mut tracer, EventKind::LocalPop { chunk: t as u32 });
                 (Some(t), params.pop_cost_ns)
             } else {
                 // Steal half of a pseudo-random victim's deque —
@@ -246,6 +290,20 @@ pub(crate) fn seek(
                         if cross {
                             *migrations += batch.len();
                         }
+                        for &c in &batch {
+                            let kind = if cross {
+                                EventKind::InterNodeSteal {
+                                    chunk: c as u32,
+                                    from: workers[v].node as u32,
+                                }
+                            } else {
+                                EventKind::IntraNodeSteal {
+                                    chunk: c as u32,
+                                    victim: workers[v].core.index() as u32,
+                                }
+                            };
+                            record(&mut tracer, kind);
+                        }
                         qs[i] = batch;
                         let t = qs[i].pop_front().expect("stolen batch non-empty");
                         let cost = if cross {
@@ -261,6 +319,7 @@ pub(crate) fn seek(
         }
         PoolSet::Hier(pools) => {
             if let Some(t) = pools[node].pop() {
+                record(&mut tracer, EventKind::LocalPop { chunk: t as u32 });
                 let sharers = node_worker_count[node];
                 (
                     Some(t),
@@ -279,6 +338,15 @@ pub(crate) fn seek(
                     Some(v) => {
                         let batch = pools[v].steal_batch();
                         *migrations += batch.len();
+                        for &c in &batch {
+                            record(
+                                &mut tracer,
+                                EventKind::InterNodeSteal {
+                                    chunk: c as u32,
+                                    from: v as u32,
+                                },
+                            );
+                        }
                         let pool = &mut pools[node];
                         // Stolen chunks arrive unstrict: they may move on.
                         pool.queue.extend(batch);
@@ -302,7 +370,10 @@ pub(crate) fn seek(
             }
         }
         PoolSet::Static(qs) => match qs[i].pop_front() {
-            Some(t) => (Some(t), params.static_chunk_ns),
+            Some(t) => {
+                record(&mut tracer, EventKind::LocalPop { chunk: t as u32 });
+                (Some(t), params.static_chunk_ns)
+            }
             None => (None, 0.0),
         },
     };

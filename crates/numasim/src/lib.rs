@@ -80,7 +80,11 @@ mod task;
 pub use colo::ColoMachine;
 pub use machine::SimMachine;
 pub use noise::NoiseParams;
-pub use outcome::{LoopOutcome, NodeOutcome};
+pub use outcome::{LoopOutcome, NodeOutcome, TaskRecord};
 pub use params::MachineParams;
 pub use plan::{NodeAssignment, PlacementPlan};
 pub use task::{Locality, TaskSpec};
+
+/// Event-tracing layer (re-exported): [`LoopOutcome::events`] is an
+/// [`trace::EventLog`] when a run is traced.
+pub use ilan_trace as trace;

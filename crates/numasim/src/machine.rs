@@ -108,6 +108,7 @@ impl SimMachine {
             active,
             plan,
             tasks,
+            false,
         );
         let outcome = engine.run();
         self.now_ns += outcome.makespan_ns;
@@ -116,8 +117,10 @@ impl SimMachine {
 
     /// Like [`run_taskloop`](Self::run_taskloop), additionally collecting a
     /// per-chunk execution trace (see [`LoopOutcome::trace`] and
-    /// [`LoopOutcome::gantt`]). Tracing allocates one record per chunk, so
-    /// it is off by default.
+    /// [`LoopOutcome::gantt`]) and the scheduler event log
+    /// ([`LoopOutcome::events`]) consumed by `ilan-trace`'s auditor and
+    /// Chrome-trace exporter. Tracing allocates per chunk, so it is off by
+    /// default.
     pub fn run_taskloop_traced(
         &mut self,
         active: &CpuSet,
@@ -129,7 +132,7 @@ impl SimMachine {
             .noise
             .draw_outlier(&mut self.rng, self.params.topology.num_nodes());
         let perm_seed: u64 = rand::Rng::random(&mut self.rng);
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             &self.params,
             &self.freqs,
             outlier,
@@ -137,8 +140,8 @@ impl SimMachine {
             active,
             plan,
             tasks,
+            true,
         );
-        engine.enable_trace();
         let outcome = engine.run();
         self.now_ns += outcome.makespan_ns;
         outcome

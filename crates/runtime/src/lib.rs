@@ -51,3 +51,7 @@ pub use chunk::{chunk_ranges, ChunkAssignment, Grain};
 pub use pin::{pin_current_thread, PinMode};
 pub use pool::{ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool};
 pub use report::{LoopReport, NodeReport};
+
+/// Event-tracing layer (re-exported): [`trace::EventLog`] is what the traced
+/// taskloop variants return.
+pub use ilan_trace as trace;

@@ -7,6 +7,7 @@ use crate::report::{LoopReport, NodeReport};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam_utils::CachePadded;
 use ilan_topology::{NodeId, NodeMask, Topology};
+use ilan_trace::{EventKind, EventLog, TraceSet, DISPATCHER};
 use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
@@ -163,6 +164,26 @@ struct LoopRun {
     overhead_ns: AtomicU64,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     threads: usize,
+    /// Per-worker event rings; `None` outside traced invocations.
+    trace: Option<TraceSet>,
+    /// Trace epoch: event timestamps are nanoseconds since this instant.
+    t0: Instant,
+}
+
+impl LoopRun {
+    /// Records a worker event when tracing is on; a single predictable
+    /// branch otherwise.
+    #[inline]
+    fn emit(&self, worker: usize, node: NodeId, kind: EventKind) {
+        if let Some(trace) = &self.trace {
+            trace.ring(worker).push(
+                worker as u32,
+                node.index() as u32,
+                self.t0.elapsed().as_nanos() as u64,
+                kind,
+            );
+        }
+    }
 }
 
 struct SyncState {
@@ -317,6 +338,49 @@ impl ThreadPool {
     where
         F: Fn(Range<usize>) + Sync,
     {
+        self.run_loop(range, grain, mode, &body, false).0
+    }
+
+    /// Like [`taskloop`](Self::taskloop), additionally recording every
+    /// scheduler action (enqueues, pops, steals, chunk start/end, latch
+    /// releases) into per-worker lock-free rings and returning the merged
+    /// [`EventLog`] alongside the report.
+    pub fn taskloop_traced<F>(
+        &self,
+        range: Range<usize>,
+        grainsize: usize,
+        mode: ExecMode,
+        body: F,
+    ) -> (LoopReport, EventLog)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.taskloop_with_traced(range, Grain::Size(grainsize), mode, body)
+    }
+
+    /// Traced variant of [`taskloop_with`](Self::taskloop_with).
+    pub fn taskloop_with_traced<F>(
+        &self,
+        range: Range<usize>,
+        grain: Grain,
+        mode: ExecMode,
+        body: F,
+    ) -> (LoopReport, EventLog)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let (report, log) = self.run_loop(range, grain, mode, &body, true);
+        (report, log.expect("traced run always yields a log"))
+    }
+
+    fn run_loop(
+        &self,
+        range: Range<usize>,
+        grain: Grain,
+        mode: ExecMode,
+        body: &(dyn Fn(Range<usize>) + Sync),
+        traced: bool,
+    ) -> (LoopReport, Option<EventLog>) {
         let _dispatch_guard = self.dispatch_lock.lock();
         let topo = &self.shared.topology;
         let num_nodes = topo.num_nodes();
@@ -339,6 +403,7 @@ impl ThreadPool {
 
         // Resolve the active worker set and the queues.
         let mut active = vec![false; all_workers];
+        let mut strict_flags = vec![false; num_chunks];
         let queues = match &mode {
             ExecMode::Flat => {
                 active.iter_mut().for_each(|a| *a = true);
@@ -403,6 +468,7 @@ impl ThreadPool {
                     };
                     for (j, idx) in idxs.into_iter().enumerate() {
                         if j < strict_count {
+                            strict_flags[idx] = true;
                             strict[node.index()].push(idx);
                         } else {
                             shared[node.index()].push(idx);
@@ -444,6 +510,10 @@ impl ThreadPool {
             >(body_ref as *const _)
         });
 
+        // Generous ring bounds: a worker emits at most one acquisition, one
+        // start, and one end per chunk, plus its latch release; the
+        // dispatcher emits one enqueue per chunk.
+        let trace = traced.then(|| TraceSet::new(all_workers, 3 * num_chunks + 4, num_chunks + 4));
         let run = Arc::new(LoopRun {
             body: body_ptr,
             chunks,
@@ -455,7 +525,26 @@ impl ThreadPool {
             overhead_ns: AtomicU64::new(0),
             panic: Mutex::new(None),
             threads,
+            trace,
+            t0: Instant::now(),
         });
+
+        // Record the dispatch: where every chunk was placed, before any
+        // worker can observe the new epoch.
+        if let Some(trace) = &run.trace {
+            for (i, c) in run.chunks.iter().enumerate() {
+                trace.dispatcher().push(
+                    DISPATCHER,
+                    c.home.index() as u32,
+                    run.t0.elapsed().as_nanos() as u64,
+                    EventKind::ChunkEnqueue {
+                        chunk: i as u32,
+                        home: c.home.index() as u32,
+                        strict: strict_flags[i],
+                    },
+                );
+            }
+        }
 
         let start = Instant::now();
         {
@@ -475,7 +564,7 @@ impl ThreadPool {
             std::panic::resume_unwind(payload);
         }
 
-        let nodes = run
+        let nodes: Vec<NodeReport> = run
             .node_stats
             .iter()
             .map(|s| NodeReport {
@@ -485,13 +574,24 @@ impl ThreadPool {
             })
             .collect();
 
-        LoopReport {
+        let migrations = run.migrations.load(Ordering::Acquire);
+        // The report's defining relation: a chunk is either local to the
+        // node that ran it or it migrated there, never both, never neither.
+        debug_assert_eq!(
+            nodes.iter().map(|n| n.tasks).sum::<usize>(),
+            nodes.iter().map(|n| n.local_tasks).sum::<usize>() + migrations,
+            "LoopReport inconsistent: tasks != local_tasks + migrations"
+        );
+
+        let log = run.trace.as_ref().map(|t| t.collect(num_nodes));
+        let report = LoopReport {
             makespan,
             sched_overhead: Duration::from_nanos(run.overhead_ns.load(Ordering::Acquire)),
             nodes,
-            migrations: run.migrations.load(Ordering::Acquire),
+            migrations,
             threads: run.threads,
-        }
+        };
+        (report, log)
     }
 }
 
@@ -527,6 +627,10 @@ fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
         let Some(run) = run else { continue };
         if run.active[index] {
             work(shared, &run, index, deque);
+            let node = shared
+                .topology
+                .node_of_core(ilan_topology::CoreId::new(index));
+            run.emit(index, node, EventKind::LatchRelease);
             run.exit_latch.count_down();
             debug_assert!(deque.pop().is_none(), "worker left chunks in its deque");
         }
@@ -534,8 +638,15 @@ fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
 }
 
 /// Executes one chunk and records its statistics.
-fn execute_chunk(run: &LoopRun, chunk_idx: usize, my_node: NodeId, migrated: bool) {
+fn execute_chunk(run: &LoopRun, chunk_idx: usize, worker: usize, my_node: NodeId, migrated: bool) {
     let chunk = &run.chunks[chunk_idx];
+    run.emit(
+        worker,
+        my_node,
+        EventKind::ChunkStart {
+            chunk: chunk_idx as u32,
+        },
+    );
     let body_start = Instant::now();
     // SAFETY: the dispatcher keeps the body alive until exit_latch releases,
     // which happens after this call returns.
@@ -561,6 +672,13 @@ fn execute_chunk(run: &LoopRun, chunk_idx: usize, my_node: NodeId, migrated: boo
     if migrated {
         run.migrations.fetch_add(1, Ordering::AcqRel);
     }
+    run.emit(
+        worker,
+        my_node,
+        EventKind::ChunkEnd {
+            chunk: chunk_idx as u32,
+        },
+    );
 }
 
 /// Pops or steals chunk indices until no work is reachable for this worker.
@@ -574,7 +692,10 @@ fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
         // Work-sharing: drain the private slice, nothing to steal.
         for chunk_idx in slices[index].clone() {
             let migrated = run.chunks[chunk_idx].home != my_node;
-            execute_chunk(run, chunk_idx, my_node, migrated);
+            if run.trace.is_some() {
+                run.emit(index, my_node, acquisition_kind(run, chunk_idx, my_node, None));
+            }
+            execute_chunk(run, chunk_idx, index, my_node, migrated);
         }
         return;
     }
@@ -583,24 +704,59 @@ fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
         let acquire_start = Instant::now();
         // Fast path: the private deque (filled by earlier batch steals).
         let acquired = match deque.pop() {
-            Some(i) => Some((i, run.chunks[i].home != my_node)),
+            Some(i) => Some((i, None)),
             None => acquire(shared, run, index, my_node, topo, deque),
         };
         overhead_ns += acquire_start.elapsed().as_nanos() as u64;
-        let Some((chunk_idx, migrated)) = acquired else {
+        let Some((chunk_idx, victim)) = acquired else {
             break;
         };
-        execute_chunk(run, chunk_idx, my_node, migrated);
+        // A chunk migrated iff it executes away from its assigned node —
+        // regardless of which queue it physically travelled through (a peer's
+        // deque may hold chunks that were batch-stolen from a remote node).
+        let migrated = run.chunks[chunk_idx].home != my_node;
+        if run.trace.is_some() {
+            run.emit(index, my_node, acquisition_kind(run, chunk_idx, my_node, victim));
+        }
+        execute_chunk(run, chunk_idx, index, my_node, migrated);
     }
 
     run.overhead_ns.fetch_add(overhead_ns, Ordering::AcqRel);
 }
 
+/// Classifies an acquisition by its locality outcome: crossing nodes is an
+/// inter-node steal (== one migration), a same-node peer-deque grab is an
+/// intra-node steal, anything else is a local pop.
+fn acquisition_kind(
+    run: &LoopRun,
+    chunk_idx: usize,
+    my_node: NodeId,
+    victim: Option<usize>,
+) -> EventKind {
+    let chunk = chunk_idx as u32;
+    let home = run.chunks[chunk_idx].home;
+    if home != my_node {
+        EventKind::InterNodeSteal {
+            chunk,
+            from: home.index() as u32,
+        }
+    } else if let Some(v) = victim {
+        EventKind::IntraNodeSteal {
+            chunk,
+            victim: v as u32,
+        }
+    } else {
+        EventKind::LocalPop { chunk }
+    }
+}
+
 /// One acquisition sweep when the private deque is empty. Batch steals from
 /// injectors refill the deque (amortizing synchronization, like LLVM's
 /// taskloop splitting); peer-deque steals stay within the NUMA node so
-/// strict chunks never migrate. Returns the chunk index and whether taking
-/// it crossed NUMA nodes.
+/// strict chunks never migrate. Returns the chunk index plus the worker it
+/// was taken from, for peer-deque steals; the caller derives migration from
+/// the chunk's assigned home (a peer's deque can hold chunks it had itself
+/// batch-stolen from a remote node).
 fn acquire(
     shared: &Shared,
     run: &LoopRun,
@@ -608,11 +764,11 @@ fn acquire(
     my_node: NodeId,
     topo: &Topology,
     deque: &Deque<usize>,
-) -> Option<(usize, bool)> {
+) -> Option<(usize, Option<usize>)> {
     match &run.queues {
         Queues::Flat(q) => {
             if let Some(i) = batch_steal_until(q, deque) {
-                return Some((i, run.chunks[i].home != my_node));
+                return Some((i, None));
             }
             // Steal from peer deques anywhere (the flat baseline is
             // NUMA-oblivious), scanning from the next worker around.
@@ -620,7 +776,7 @@ fn acquire(
             for k in 1..n {
                 let v = (index + k) % n;
                 if let Some(i) = peer_steal_until(&shared.stealers[v], deque) {
-                    return Some((i, run.chunks[i].home != my_node));
+                    return Some((i, Some(v)));
                 }
             }
             None
@@ -631,16 +787,17 @@ fn acquire(
             policy,
         } => {
             if let Some(i) = batch_steal_until(&strict[my_node.index()], deque) {
-                return Some((i, false));
+                return Some((i, None));
             }
             if let Some(i) = batch_steal_until(&shared_q[my_node.index()], deque) {
-                return Some((i, false));
+                return Some((i, None));
             }
-            // Intra-node peer deques (chunks there stay on this node).
+            // Intra-node peer deques (chunks there stay on this node unless
+            // the peer had already pulled them across).
             for peer in topo.cores_of_node(my_node) {
                 if peer.index() != index {
                     if let Some(i) = peer_steal_until(&shared.stealers[peer.index()], deque) {
-                        return Some((i, false));
+                        return Some((i, Some(peer.index())));
                     }
                 }
             }
@@ -650,7 +807,7 @@ fn acquire(
                 // NUMA-strict chunks.
                 for victim in topo.distances().neighbors_by_distance(my_node) {
                     if let Some(i) = batch_steal_until(&shared_q[victim.index()], deque) {
-                        return Some((i, true));
+                        return Some((i, None));
                     }
                 }
             }
@@ -848,5 +1005,85 @@ mod tests {
         let per_node: usize = report.nodes.iter().map(|n| n.tasks).sum();
         assert_eq!(per_node, 64);
         assert!(report.makespan > Duration::ZERO);
+    }
+
+    /// The audit expectations implied by a report.
+    fn expect_from(report: &LoopReport) -> ilan_trace::AuditExpect {
+        ilan_trace::AuditExpect {
+            migrations: Some(report.migrations),
+            latch_releases: Some(report.threads),
+            per_node: Some(
+                report
+                    .nodes
+                    .iter()
+                    .map(|n| ilan_trace::NodeTally {
+                        tasks: n.tasks,
+                        local_tasks: Some(n.local_tasks),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn traced_strict_run_audits_clean() {
+        let p = pool(presets::tiny_2x4());
+        let mode = ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let (report, log) = p.taskloop_traced(0..256, 4, mode, |r| {
+            std::hint::black_box(r.sum::<usize>());
+        });
+        assert_eq!(log.dropped, 0);
+        let audit = ilan_trace::audit(&log, &expect_from(&report));
+        assert!(audit.ok(), "audit violations: {audit}");
+        assert_eq!(audit.chunks, 64);
+        assert_eq!(audit.inter_node_steals, 0);
+        assert_eq!(audit.latch_releases, 8);
+    }
+
+    #[test]
+    fn traced_flat_run_audits_clean() {
+        let p = pool(presets::tiny_2x4());
+        let (report, log) = p.taskloop_traced(0..500, 5, ExecMode::Flat, |r| {
+            std::hint::black_box(r.sum::<usize>());
+        });
+        let audit = ilan_trace::audit(&log, &expect_from(&report));
+        assert!(audit.ok(), "audit violations: {audit}");
+        assert_eq!(audit.chunks, 100);
+    }
+
+    /// Regression for the report relation `tasks == local_tasks +
+    /// migrations`: chunks that reach a worker's private deque via a remote
+    /// batch steal and are then taken by an intra-node peer used to be
+    /// counted as local, undercounting migrations.
+    #[test]
+    fn full_policy_report_relation_holds() {
+        let p = pool(presets::tiny_2x4());
+        for _ in 0..5 {
+            let mode = ExecMode::Hierarchical {
+                mask: p.topology().all_nodes(),
+                threads: 0,
+                strict_fraction: 0.0,
+                policy: StealPolicy::Full,
+            };
+            let (report, log) = p.taskloop_traced(0..64, 1, mode, |r| {
+                if r.start < 32 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+            let tasks: usize = report.nodes.iter().map(|n| n.tasks).sum();
+            let local: usize = report.nodes.iter().map(|n| n.local_tasks).sum();
+            assert_eq!(
+                tasks,
+                local + report.migrations,
+                "tasks != local + migrations"
+            );
+            let audit = ilan_trace::audit(&log, &expect_from(&report));
+            assert!(audit.ok(), "audit violations: {audit}");
+        }
     }
 }

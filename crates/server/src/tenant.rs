@@ -17,6 +17,7 @@ use ilan::ptt::Ptt;
 use ilan::{Decision, IlanParams, IlanScheduler, Policy, SiteId, TaskloopReport};
 use ilan_numasim::{ColoMachine, LoopOutcome};
 use ilan_topology::{NodeMask, Topology};
+use ilan_trace::{Event, EventKind, EventLog, DISPATCHER};
 use ilan_workloads::{Scale, SimApp};
 
 /// Remaps an application built for the whole machine into `partition`: the
@@ -65,6 +66,12 @@ pub struct Tenant {
     serial_lead_ns: f64,
     /// Accumulated scheduling overhead across the job, ns.
     pub sched_overhead_ns: f64,
+    /// Merged scheduler event log across invocations, when tracing. Each
+    /// [`EventKind::ExplorationDecision`] marks one invocation's decision;
+    /// the lane's per-invocation events follow on the machine-global clock.
+    trace: Option<EventLog>,
+    /// Sequence counter for the tenant's own dispatcher-level events.
+    trace_seq: u64,
 }
 
 impl Tenant {
@@ -104,7 +111,28 @@ impl Tenant {
             in_flight: None,
             serial_lead_ns: 0.0,
             sched_overhead_ns: 0.0,
+            trace: None,
+            trace_seq: 0,
         }
+    }
+
+    /// Starts collecting a merged scheduler event log for this tenant. The
+    /// caller must also turn on lane tracing on the machine
+    /// ([`ColoMachine::set_tracing`]) so completions carry events; the tenant
+    /// contributes its own [`EventKind::ExplorationDecision`] marker per
+    /// invocation either way.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(EventLog::default());
+        }
+    }
+
+    /// The merged event log collected so far, when tracing is enabled.
+    /// Sequence numbers restart per invocation, so this merged view is for
+    /// export and aggregate queries (steal matrix, Chrome trace) — audit
+    /// each invocation's [`LoopOutcome::events`] individually.
+    pub fn trace(&self) -> Option<&EventLog> {
+        self.trace.as_ref()
     }
 
     /// Total invocations the job runs.
@@ -145,6 +173,20 @@ impl Tenant {
         };
         self.serial_lead_ns = serial;
         let lead = self.sched.decision_overhead_ns() + serial;
+        if let Some(log) = &mut self.trace {
+            let threads = decision.threads().unwrap_or(cores.count()) as u32;
+            log.push_event(Event {
+                seq: self.trace_seq,
+                worker: DISPATCHER,
+                node: self.partition.iter().next().map_or(0, |n| n.index()) as u32,
+                time_ns: machine.now_ns() as u64,
+                kind: EventKind::ExplorationDecision {
+                    site: site.raw(),
+                    threads,
+                },
+            });
+            self.trace_seq += 1;
+        }
         machine.start_loop(self.lane, &cores, &plan, tasks, lead);
         self.in_flight = Some((site, decision));
     }
@@ -156,6 +198,9 @@ impl Tenant {
             .in_flight
             .take()
             .expect("completion without an in-flight invocation");
+        if let Some(log) = &mut self.trace {
+            log.merge(&outcome.events);
+        }
         let mut report = TaskloopReport::from(outcome);
         // The colo makespan spans submission to barrier, so it already
         // includes the decision cost; strip only the serial section so the
@@ -291,5 +336,81 @@ mod tests {
             }
             tenant.start_next(&mut machine);
         }
+    }
+
+    #[test]
+    fn traced_tenant_logs_decisions_and_stays_in_partition() {
+        use ilan_trace::{audit, AuditExpect, NodeTally};
+
+        let t = presets::tiny_2x4();
+        let part = NodeMask::from_bits(0b01); // node 0 only
+        let mut machine = ColoMachine::new(MachineParams::for_topology(&t).noiseless(), 3);
+        machine.set_tracing(true);
+        let lane = machine.add_lane();
+        let mut tenant = Tenant::new(
+            job(Workload::Matmul, 2),
+            part,
+            false,
+            &t,
+            Scale::Quick,
+            None,
+            lane,
+            0.0,
+        );
+        tenant.enable_tracing();
+        let total = tenant.total_invocations();
+        tenant.start_next(&mut machine);
+        let mut invocations = 0;
+        loop {
+            let (_, outcome) = machine.run_until_next_completion().unwrap();
+            invocations += 1;
+            // Each invocation's event log audits clean on its own.
+            let expect = AuditExpect {
+                migrations: Some(outcome.migrations),
+                latch_releases: Some(outcome.threads),
+                per_node: Some(
+                    outcome
+                        .nodes
+                        .iter()
+                        .map(|n| NodeTally {
+                            tasks: n.tasks,
+                            local_tasks: None,
+                        })
+                        .collect(),
+                ),
+            };
+            let report = audit(&outcome.events, &expect);
+            assert!(report.ok(), "invocation audit failed: {report}");
+            if tenant.on_completion(&outcome) {
+                break;
+            }
+            tenant.start_next(&mut machine);
+        }
+        assert_eq!(invocations, total);
+
+        let log = tenant.trace().expect("tracing enabled");
+        // One decision marker per invocation, each naming a real site.
+        let decisions: Vec<_> = log
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::ExplorationDecision { site, threads } => Some((site, threads)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decisions.len(), total);
+        assert!(decisions.iter().all(|&(_, threads)| threads > 0));
+        // No chunk ever started on a node outside the partition.
+        for e in log.iter() {
+            if let EventKind::ChunkStart { .. } = e.kind {
+                assert!(
+                    part.contains(NodeId::new(e.node as usize)),
+                    "chunk started outside partition on node {}",
+                    e.node
+                );
+            }
+        }
+        // The merged log carries real per-invocation scheduler activity.
+        assert!(log.iter().any(|e| matches!(e.kind, EventKind::ChunkEnqueue { .. })));
+        assert!(log.len() > total);
     }
 }

@@ -1,0 +1,445 @@
+//! The invariant auditor: replays an event log against the scheduler's
+//! correctness properties and the run's reported statistics.
+
+use crate::event::{EventKind, DISPATCHER};
+use crate::log::EventLog;
+use std::collections::HashMap;
+
+/// Expected values from the run's report, cross-checked against the log.
+#[derive(Clone, Debug, Default)]
+pub struct AuditExpect {
+    /// The run's reported migration count (`LoopReport::migrations` /
+    /// `LoopOutcome::migrations`). Checked against the number of
+    /// inter-node-steal events.
+    pub migrations: Option<usize>,
+    /// The run's active thread count. Checked against latch-release events
+    /// (exactly one per active worker).
+    pub latch_releases: Option<usize>,
+    /// Per-node report rows, indexed by node id.
+    pub per_node: Option<Vec<NodeTally>>,
+}
+
+/// One node's reported statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTally {
+    /// Chunks the node's cores executed.
+    pub tasks: usize,
+    /// Chunks executed on the node that were also *assigned* there
+    /// (enqueue home == executing node). `None` skips the check — the
+    /// simulator defines locality against data homes, which an event log
+    /// of the placement plan cannot see.
+    pub local_tasks: Option<usize>,
+}
+
+/// Outcome of auditing one invocation's log.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Human-readable invariant violations; empty means the log is clean.
+    pub violations: Vec<String>,
+    /// Distinct chunks enqueued.
+    pub chunks: usize,
+    /// Local-pop acquisition events.
+    pub local_pops: usize,
+    /// Intra-node steal events.
+    pub intra_node_steals: usize,
+    /// Inter-node steal events (== migrations when clean).
+    pub inter_node_steals: usize,
+    /// Latch-release events.
+    pub latch_releases: usize,
+}
+
+impl AuditReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chunks={} pops={} intra={} inter={} latches={} violations={}",
+            self.chunks,
+            self.local_pops,
+            self.intra_node_steals,
+            self.inter_node_steals,
+            self.latch_releases,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  ! {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `log` against the scheduler's invariants:
+///
+/// 1. per-worker sequence numbers are gap-free from 0 with non-decreasing
+///    timestamps (no lost or reordered events within a worker);
+/// 2. every chunk is enqueued exactly once, started exactly once, and ended
+///    exactly once, on the worker that started it, after an acquisition by
+///    that worker;
+/// 3. NUMA-strict chunks execute on their assigned home node and never
+///    appear in a steal event;
+/// 4. the reported migration count equals the number of inter-node-steal
+///    events;
+/// 5. exactly one latch release per active worker, as that worker's final
+///    event;
+/// 6. the reported per-node task (and, for the native runtime, locality)
+///    counts match the chunk-end events.
+pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
+    let mut report = AuditReport::default();
+    let v = &mut report.violations;
+
+    if log.dropped > 0 {
+        v.push(format!(
+            "{} events were dropped on ring overflow; the log is incomplete",
+            log.dropped
+        ));
+    }
+
+    // --- 1. Per-worker sequence monotonicity -----------------------------
+    let mut per_worker: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // worker -> (seq, time)
+    for e in log.iter() {
+        per_worker.entry(e.worker).or_default().push((e.seq, e.time_ns));
+    }
+    for (worker, stream) in &mut per_worker {
+        stream.sort_unstable();
+        for (i, &(seq, _)) in stream.iter().enumerate() {
+            if seq != i as u64 {
+                v.push(format!(
+                    "worker {worker}: sequence gap — expected seq {i}, found {seq}"
+                ));
+                break;
+            }
+        }
+        if stream.windows(2).any(|w| w[1].1 < w[0].1) {
+            v.push(format!(
+                "worker {worker}: timestamps decrease along its sequence"
+            ));
+        }
+    }
+
+    // --- 2–3. Chunk lifecycle --------------------------------------------
+    let mut enqueued: HashMap<u32, (u32, bool)> = HashMap::new(); // chunk -> (home, strict)
+    let mut started: HashMap<u32, (u32, u32, u64, u64)> = HashMap::new(); // chunk -> (worker, node, seq, time)
+    let mut ended: HashMap<u32, (u32, u64)> = HashMap::new(); // chunk -> (worker, time)
+    // (worker, chunk) -> seq of latest acquisition.
+    let mut acquired: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut latch_last: HashMap<u32, u64> = HashMap::new(); // worker -> latch seq
+    let mut max_seq: HashMap<u32, u64> = HashMap::new();
+
+    for e in log.iter() {
+        let prev = max_seq.entry(e.worker).or_insert(e.seq);
+        *prev = (*prev).max(e.seq);
+        match e.kind {
+            EventKind::ChunkEnqueue {
+                chunk,
+                home,
+                strict,
+            } => {
+                if e.worker != DISPATCHER {
+                    v.push(format!("chunk {chunk}: enqueued by worker {}, not the dispatcher", e.worker));
+                }
+                if enqueued.insert(chunk, (home, strict)).is_some() {
+                    v.push(format!("chunk {chunk}: enqueued more than once"));
+                }
+            }
+            EventKind::LocalPop { chunk } => {
+                report.local_pops += 1;
+                acquired.insert((e.worker, chunk), e.seq);
+            }
+            EventKind::IntraNodeSteal { chunk, .. } => {
+                report.intra_node_steals += 1;
+                acquired.insert((e.worker, chunk), e.seq);
+                if let Some(&(_, true)) = enqueued.get(&chunk) {
+                    // Same-node peer steals of strict chunks are legal; noted
+                    // here only so the arm mirrors the inter-node case below.
+                }
+            }
+            EventKind::InterNodeSteal { chunk, .. } => {
+                report.inter_node_steals += 1;
+                acquired.insert((e.worker, chunk), e.seq);
+                if let Some(&(_, true)) = enqueued.get(&chunk) {
+                    v.push(format!("chunk {chunk}: NUMA-strict but crossed nodes in a steal"));
+                }
+            }
+            EventKind::ChunkStart { chunk } => {
+                if started
+                    .insert(chunk, (e.worker, e.node, e.seq, e.time_ns))
+                    .is_some()
+                {
+                    v.push(format!("chunk {chunk}: started more than once"));
+                }
+                match acquired.get(&(e.worker, chunk)) {
+                    Some(&aseq) if aseq < e.seq => {}
+                    _ => v.push(format!(
+                        "chunk {chunk}: started by worker {} without a prior acquisition",
+                        e.worker
+                    )),
+                }
+            }
+            EventKind::ChunkEnd { chunk } => {
+                if ended.insert(chunk, (e.worker, e.time_ns)).is_some() {
+                    v.push(format!("chunk {chunk}: ended more than once"));
+                }
+            }
+            EventKind::LatchRelease => {
+                report.latch_releases += 1;
+                if latch_last.insert(e.worker, e.seq).is_some() {
+                    v.push(format!("worker {}: released the latch more than once", e.worker));
+                }
+            }
+            EventKind::ExplorationDecision { .. } => {}
+        }
+    }
+
+    report.chunks = enqueued.len();
+    for (&chunk, &(home, strict)) in &enqueued {
+        match started.get(&chunk) {
+            None => v.push(format!("chunk {chunk}: enqueued but never started")),
+            Some(&(worker, node, _, stime)) => {
+                if strict && node != home {
+                    v.push(format!(
+                        "chunk {chunk}: NUMA-strict on node {home} but executed on node {node}"
+                    ));
+                }
+                match ended.get(&chunk) {
+                    None => v.push(format!("chunk {chunk}: started but never ended")),
+                    Some(&(eworker, etime)) => {
+                        if eworker != worker {
+                            v.push(format!(
+                                "chunk {chunk}: started on worker {worker} but ended on {eworker}"
+                            ));
+                        }
+                        if etime < stime {
+                            v.push(format!("chunk {chunk}: ends before it starts"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for &chunk in started.keys() {
+        if !enqueued.contains_key(&chunk) {
+            v.push(format!("chunk {chunk}: started but never enqueued"));
+        }
+    }
+    for &chunk in ended.keys() {
+        if !started.contains_key(&chunk) {
+            v.push(format!("chunk {chunk}: ended but never started"));
+        }
+    }
+
+    // --- 4. Migration accounting -----------------------------------------
+    if let Some(migrations) = expect.migrations {
+        if migrations != report.inter_node_steals {
+            v.push(format!(
+                "report says {migrations} migrations but the log holds {} inter-node steals",
+                report.inter_node_steals
+            ));
+        }
+    }
+
+    // --- 5. Latch balance -------------------------------------------------
+    if let Some(threads) = expect.latch_releases {
+        if report.latch_releases != threads {
+            v.push(format!(
+                "{} latch releases for {threads} active workers",
+                report.latch_releases
+            ));
+        }
+    }
+    for (&worker, &lseq) in &latch_last {
+        if max_seq.get(&worker).copied().unwrap_or(0) != lseq {
+            v.push(format!(
+                "worker {worker}: emitted events after releasing the latch"
+            ));
+        }
+    }
+
+    // --- 6. Per-node report consistency ----------------------------------
+    if let Some(per_node) = &expect.per_node {
+        let mut tasks = vec![0usize; per_node.len()];
+        let mut local = vec![0usize; per_node.len()];
+        for (&chunk, &(_, node, ..)) in &started {
+            // Ends mirror starts 1:1 when the lifecycle checks above pass;
+            // tally by the start's node (== the executing worker's node).
+            let n = node as usize;
+            if n < tasks.len() {
+                tasks[n] += 1;
+                if enqueued.get(&chunk).map(|&(h, _)| h) == Some(node) {
+                    local[n] += 1;
+                }
+            } else {
+                v.push(format!("chunk {chunk}: executed on unknown node {node}"));
+            }
+        }
+        for (n, tally) in per_node.iter().enumerate() {
+            if tally.tasks != tasks[n] {
+                v.push(format!(
+                    "node {n}: report says {} tasks, log shows {}",
+                    tally.tasks, tasks[n]
+                ));
+            }
+            if let Some(lt) = tally.local_tasks {
+                if lt != local[n] {
+                    v.push(format!(
+                        "node {n}: report says {lt} local tasks, log shows {}",
+                        local[n]
+                    ));
+                }
+            }
+        }
+        // The LoopReport relation: tasks == local + incoming migrations.
+        if per_node.iter().all(|t| t.local_tasks.is_some()) {
+            let t: usize = per_node.iter().map(|t| t.tasks).sum();
+            let l: usize = per_node.iter().map(|t| t.local_tasks.unwrap()).sum();
+            if t != l + report.inter_node_steals {
+                v.push(format!(
+                    "task/migration relation broken: {t} tasks != {l} local + {} migrations",
+                    report.inter_node_steals
+                ));
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn ev(seq: u64, worker: u32, node: u32, time_ns: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            worker,
+            node,
+            time_ns,
+            kind,
+        }
+    }
+
+    /// A minimal clean run: 2 chunks, 2 workers on 2 nodes, one migration.
+    fn clean_log() -> EventLog {
+        EventLog::from_events(
+            vec![
+                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: true }),
+                ev(1, DISPATCHER, 1, 0, EventKind::ChunkEnqueue { chunk: 1, home: 1, strict: false }),
+                ev(0, 0, 0, 10, EventKind::LocalPop { chunk: 0 }),
+                ev(1, 0, 0, 12, EventKind::ChunkStart { chunk: 0 }),
+                ev(2, 0, 0, 40, EventKind::ChunkEnd { chunk: 0 }),
+                ev(3, 0, 0, 41, EventKind::InterNodeSteal { chunk: 1, from: 1 }),
+                ev(4, 0, 0, 42, EventKind::ChunkStart { chunk: 1 }),
+                ev(5, 0, 0, 50, EventKind::ChunkEnd { chunk: 1 }),
+                ev(6, 0, 0, 60, EventKind::LatchRelease),
+                ev(0, 1, 1, 61, EventKind::LatchRelease),
+            ],
+            2,
+            2,
+            0,
+        )
+    }
+
+    fn expect() -> AuditExpect {
+        AuditExpect {
+            migrations: Some(1),
+            latch_releases: Some(2),
+            per_node: Some(vec![
+                NodeTally { tasks: 2, local_tasks: Some(1) },
+                NodeTally { tasks: 0, local_tasks: Some(0) },
+            ]),
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let r = audit(&clean_log(), &expect());
+        assert!(r.ok(), "unexpected violations: {r}");
+        assert_eq!(r.chunks, 2);
+        assert_eq!(r.inter_node_steals, 1);
+        assert_eq!(r.latch_releases, 2);
+    }
+
+    #[test]
+    fn migration_mismatch_is_flagged() {
+        let mut e = expect();
+        e.migrations = Some(0);
+        let r = audit(&clean_log(), &e);
+        assert!(r.violations.iter().any(|m| m.contains("migrations")));
+    }
+
+    #[test]
+    fn strict_chunk_off_home_is_flagged() {
+        let log = EventLog::from_events(
+            vec![
+                ev(0, DISPATCHER, 1, 0, EventKind::ChunkEnqueue { chunk: 0, home: 1, strict: true }),
+                ev(0, 0, 0, 5, EventKind::InterNodeSteal { chunk: 0, from: 1 }),
+                ev(1, 0, 0, 6, EventKind::ChunkStart { chunk: 0 }),
+                ev(2, 0, 0, 9, EventKind::ChunkEnd { chunk: 0 }),
+            ],
+            1,
+            2,
+            0,
+        );
+        let r = audit(&log, &AuditExpect::default());
+        assert!(r.violations.iter().any(|m| m.contains("NUMA-strict")));
+    }
+
+    #[test]
+    fn lost_chunk_and_seq_gap_are_flagged() {
+        let log = EventLog::from_events(
+            vec![
+                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: false }),
+                // seq jumps 0 -> 2: a gap.
+                ev(2, 0, 0, 10, EventKind::LatchRelease),
+            ],
+            1,
+            1,
+            0,
+        );
+        let r = audit(&log, &AuditExpect::default());
+        assert!(r.violations.iter().any(|m| m.contains("never started")));
+        assert!(r.violations.iter().any(|m| m.contains("sequence gap")));
+    }
+
+    #[test]
+    fn double_execution_is_flagged() {
+        let log = EventLog::from_events(
+            vec![
+                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: false }),
+                ev(0, 0, 0, 1, EventKind::LocalPop { chunk: 0 }),
+                ev(1, 0, 0, 2, EventKind::ChunkStart { chunk: 0 }),
+                ev(2, 0, 0, 3, EventKind::ChunkEnd { chunk: 0 }),
+                ev(3, 0, 0, 4, EventKind::ChunkStart { chunk: 0 }),
+                ev(4, 0, 0, 5, EventKind::ChunkEnd { chunk: 0 }),
+                ev(5, 0, 0, 6, EventKind::LatchRelease),
+            ],
+            1,
+            1,
+            0,
+        );
+        let r = audit(&log, &AuditExpect::default());
+        assert!(r.violations.iter().any(|m| m.contains("started more than once")));
+        assert!(r.violations.iter().any(|m| m.contains("ended more than once")));
+    }
+
+    #[test]
+    fn events_after_latch_are_flagged() {
+        let log = EventLog::from_events(
+            vec![
+                ev(0, 0, 0, 1, EventKind::LatchRelease),
+                ev(1, 0, 0, 2, EventKind::LocalPop { chunk: 0 }),
+            ],
+            1,
+            1,
+            0,
+        );
+        let r = audit(&log, &AuditExpect::default());
+        assert!(r.violations.iter().any(|m| m.contains("after releasing")));
+    }
+}

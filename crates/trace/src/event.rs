@@ -1,0 +1,108 @@
+//! The event vocabulary shared by the native runtime and the simulator.
+
+/// Pseudo-worker id for events emitted by the dispatching thread (the thread
+/// that encounters the taskloop and enqueues its chunks) rather than by a
+/// pool worker.
+pub const DISPATCHER: u32 = u32::MAX;
+
+/// What happened. Acquisition events encode the *locality outcome* of taking
+/// a chunk, not the queue it physically came through: any acquisition (or
+/// batch transfer, in the simulator) that moves a chunk across NUMA nodes is
+/// an [`InterNodeSteal`](EventKind::InterNodeSteal), so the number of
+/// inter-node-steal events in a log equals the run's reported `migrations`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The dispatcher placed chunk `chunk` on the queue of node `home`.
+    /// `strict` marks NUMA-strict chunks, which must never leave `home`.
+    ChunkEnqueue {
+        /// Chunk index within the invocation.
+        chunk: u32,
+        /// Node the chunk was assigned to.
+        home: u32,
+        /// Whether the chunk is NUMA-strict.
+        strict: bool,
+    },
+    /// A worker took a chunk that lives on its own node from a local queue.
+    LocalPop {
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// A worker took a same-node chunk from a same-node peer's deque.
+    IntraNodeSteal {
+        /// Chunk index.
+        chunk: u32,
+        /// Worker id of the deque's owner.
+        victim: u32,
+    },
+    /// A chunk crossed NUMA nodes: acquired (native) or batch-transferred
+    /// (simulator) by a worker on a node other than the one it sat on.
+    InterNodeSteal {
+        /// Chunk index.
+        chunk: u32,
+        /// Node the chunk migrated away from.
+        from: u32,
+    },
+    /// A worker began executing chunk `chunk`'s body.
+    ChunkStart {
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// A worker finished executing chunk `chunk`'s body.
+    ChunkEnd {
+        /// Chunk index.
+        chunk: u32,
+    },
+    /// A worker left the taskloop and released the exit barrier. Exactly one
+    /// per active worker per invocation.
+    LatchRelease,
+    /// A scheduling policy chose a configuration for a taskloop site
+    /// (Algorithm 1's exploration / settled decision).
+    ExplorationDecision {
+        /// The taskloop site the decision is for.
+        site: u64,
+        /// Thread count of the decision (0 = not a hierarchical decision).
+        threads: u32,
+    },
+}
+
+impl EventKind {
+    /// The chunk index this event refers to, if any.
+    pub fn chunk(&self) -> Option<u32> {
+        match *self {
+            EventKind::ChunkEnqueue { chunk, .. }
+            | EventKind::LocalPop { chunk }
+            | EventKind::IntraNodeSteal { chunk, .. }
+            | EventKind::InterNodeSteal { chunk, .. }
+            | EventKind::ChunkStart { chunk }
+            | EventKind::ChunkEnd { chunk } => Some(chunk),
+            EventKind::LatchRelease | EventKind::ExplorationDecision { .. } => None,
+        }
+    }
+
+    /// Whether this is an acquisition event (local pop or either steal).
+    pub fn is_acquisition(&self) -> bool {
+        matches!(
+            self,
+            EventKind::LocalPop { .. }
+                | EventKind::IntraNodeSteal { .. }
+                | EventKind::InterNodeSteal { .. }
+        )
+    }
+}
+
+/// One scheduler event, stamped with its emitting worker's sequence number.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Per-worker sequence number, starting at 0; strictly increasing within
+    /// one worker's stream of one invocation.
+    pub seq: u64,
+    /// Emitting worker id (== core index), or [`DISPATCHER`].
+    pub worker: u32,
+    /// NUMA node of the emitting worker; for enqueue events, the chunk's
+    /// assigned home node.
+    pub node: u32,
+    /// Event time in nanoseconds from the invocation's dispatch.
+    pub time_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}

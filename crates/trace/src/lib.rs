@@ -1,0 +1,35 @@
+//! **ilan-trace** — scheduler event tracing for the ILAN reproduction.
+//!
+//! The paper's claims hinge on *where* chunks actually ran: strict chunks
+//! never leaving their home node, the stealable tail draining asymmetric
+//! nodes, migrations matching the inter-node steals that caused them. The
+//! aggregate counters in `LoopReport`/`LoopOutcome` cannot audit a single
+//! steal, so this crate records the scheduler's actions as a stream of
+//! sequence-stamped [`Event`]s and turns that stream into the single source
+//! of truth both humans and tests consume.
+//!
+//! Three layers:
+//!
+//! * **Capture** — [`EventRing`], a bounded lock-free single-producer ring
+//!   (one per native worker, grouped in a [`TraceSet`]), and [`Recorder`],
+//!   its sequential counterpart for the deterministic simulator.
+//! * **Log** — [`EventLog`], the merged, time-ordered stream of one
+//!   invocation, with exporters: `chrome://tracing` JSON
+//!   ([`EventLog::chrome_trace_json`]) and a per-node steal matrix
+//!   ([`EventLog::steal_matrix`]).
+//! * **Audit** — [`audit`], which replays a log against the scheduler's
+//!   invariants (every chunk exactly once, strict confinement, migration
+//!   accounting, latch balance, per-worker sequence monotonicity) and
+//!   cross-checks the run's reported per-node statistics.
+
+#![warn(missing_docs)]
+
+mod audit;
+mod event;
+mod log;
+mod ring;
+
+pub use audit::{audit, AuditExpect, AuditReport, NodeTally};
+pub use event::{Event, EventKind, DISPATCHER};
+pub use log::EventLog;
+pub use ring::{EventRing, Recorder, TraceSet};

@@ -1,0 +1,250 @@
+//! Event capture: lock-free per-worker rings and the simulator's recorder.
+
+use crate::event::{Event, EventKind, DISPATCHER};
+use crate::log::EventLog;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A bounded single-producer event ring.
+///
+/// Exactly one thread (the owning worker) may call [`push`](Self::push);
+/// any thread may read committed events concurrently. A slot is written
+/// once and published with a release store of the commit counter, so
+/// readers acquiring that counter observe fully-initialised events. When
+/// the ring is full, further events are counted in
+/// [`dropped`](Self::dropped) and discarded (drop-newest), never blocking
+/// the worker.
+pub struct EventRing {
+    slots: Box<[UnsafeCell<MaybeUninit<Event>>]>,
+    /// Number of committed (readable) slots; monotone, only the producer
+    /// stores it.
+    committed: AtomicUsize,
+    dropped: AtomicUsize,
+    /// The producer's per-worker sequence counter (advances even for
+    /// dropped events, so a drop is visible as a gap-free prefix ending
+    /// early, with the count in `dropped`).
+    next_seq: AtomicU64,
+}
+
+// SAFETY: slots below `committed` are written exactly once before the
+// release store that publishes them, and never rewritten; `Event` is Copy.
+unsafe impl Send for EventRing {}
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            slots: (0..capacity.max(1))
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            committed: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one event, stamping it with the next sequence number. Must
+    /// only be called by the ring's owning worker (single producer).
+    pub fn push(&self, worker: u32, node: u32, time_ns: u64, kind: EventKind) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let n = self.committed.load(Ordering::Relaxed);
+        if n == self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ev = Event {
+            seq,
+            worker,
+            node,
+            time_ns,
+            kind,
+        };
+        // SAFETY: single producer; slot `n` is unpublished until the store
+        // below, and `n < len` was just checked.
+        unsafe { (*self.slots[n].get()).write(ev) };
+        self.committed.store(n + 1, Ordering::Release);
+    }
+
+    /// Number of committed events.
+    pub fn len(&self) -> usize {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Whether no event has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    /// Copies out all committed events, in emission order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let n = self.committed.load(Ordering::Acquire);
+        (0..n)
+            // SAFETY: slots below the acquired commit counter are fully
+            // initialised (release/acquire pairing on `committed`).
+            .map(|i| unsafe { (*self.slots[i].get()).assume_init() })
+            .collect()
+    }
+}
+
+/// The per-worker rings of one traced native invocation: one ring per pool
+/// worker plus one for the dispatching thread.
+pub struct TraceSet {
+    rings: Vec<EventRing>,
+    dispatcher: EventRing,
+}
+
+impl TraceSet {
+    /// Rings for `num_workers` workers, each holding `worker_capacity`
+    /// events; the dispatcher ring holds `dispatcher_capacity`.
+    pub fn new(num_workers: usize, worker_capacity: usize, dispatcher_capacity: usize) -> Self {
+        TraceSet {
+            rings: (0..num_workers)
+                .map(|_| EventRing::with_capacity(worker_capacity))
+                .collect(),
+            dispatcher: EventRing::with_capacity(dispatcher_capacity),
+        }
+    }
+
+    /// The ring owned by worker `worker`.
+    pub fn ring(&self, worker: usize) -> &EventRing {
+        &self.rings[worker]
+    }
+
+    /// The dispatching thread's ring.
+    pub fn dispatcher(&self) -> &EventRing {
+        &self.dispatcher
+    }
+
+    /// Merges every ring's committed events into a time-ordered log.
+    pub fn collect(&self, num_nodes: usize) -> EventLog {
+        let mut events = self.dispatcher.snapshot();
+        let mut dropped = self.dispatcher.dropped();
+        for r in &self.rings {
+            events.extend(r.snapshot());
+            dropped += r.dropped();
+        }
+        EventLog::from_events(events, self.rings.len(), num_nodes, dropped)
+    }
+}
+
+/// Sequential event capture for the single-threaded simulator: same event
+/// stream as [`TraceSet`], without the lock-free machinery. Sequence
+/// numbers are maintained per worker.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Vec<Event>,
+    /// Per-worker next sequence number, grown on demand.
+    seqs: Vec<u64>,
+    dispatcher_seq: u64,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Appends one event, stamping the emitting worker's next sequence
+    /// number.
+    pub fn push(&mut self, worker: u32, node: u32, time_ns: u64, kind: EventKind) {
+        let seq = if worker == DISPATCHER {
+            let s = self.dispatcher_seq;
+            self.dispatcher_seq += 1;
+            s
+        } else {
+            let w = worker as usize;
+            if w >= self.seqs.len() {
+                self.seqs.resize(w + 1, 0);
+            }
+            let s = self.seqs[w];
+            self.seqs[w] += 1;
+            s
+        };
+        self.events.push(Event {
+            seq,
+            worker,
+            node,
+            time_ns,
+            kind,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finalizes into a time-ordered log.
+    pub fn into_log(self, num_workers: usize, num_nodes: usize) -> EventLog {
+        EventLog::from_events(self.events, num_workers, num_nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_preserves_order_and_counts_drops() {
+        let ring = EventRing::with_capacity(4);
+        for i in 0..6u32 {
+            ring.push(0, 0, i as u64 * 10, EventKind::ChunkStart { chunk: i });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.snapshot();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind, EventKind::ChunkStart { chunk: i as u32 });
+        }
+    }
+
+    #[test]
+    fn ring_is_readable_while_producing() {
+        // A consumer snapshotting concurrently never sees a torn event:
+        // every observed event matches what the producer wrote at that slot.
+        let ring = std::sync::Arc::new(EventRing::with_capacity(10_000));
+        let producer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..10_000u32 {
+                    ring.push(7, 1, i as u64, EventKind::ChunkEnd { chunk: i });
+                }
+            })
+        };
+        for _ in 0..50 {
+            for (i, e) in ring.snapshot().iter().enumerate() {
+                assert_eq!(e.seq, i as u64);
+                assert_eq!(e.time_ns, i as u64);
+                assert_eq!(e.kind, EventKind::ChunkEnd { chunk: i as u32 });
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(ring.len(), 10_000);
+    }
+
+    #[test]
+    fn recorder_tracks_per_worker_sequences() {
+        let mut r = Recorder::new();
+        r.push(1, 0, 5, EventKind::LatchRelease);
+        r.push(0, 0, 1, EventKind::LatchRelease);
+        r.push(1, 0, 9, EventKind::LatchRelease);
+        r.push(DISPATCHER, 0, 0, EventKind::LatchRelease);
+        let log = r.into_log(2, 1);
+        let seqs: Vec<(u32, u64)> = log.iter().map(|e| (e.worker, e.seq)).collect();
+        // Sorted by time: dispatcher@0, worker0@1, worker1@5, worker1@9.
+        assert_eq!(seqs, vec![(DISPATCHER, 0), (0, 0), (1, 0), (1, 1)]);
+    }
+}

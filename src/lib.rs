@@ -14,6 +14,8 @@
 //!   ([`ilan`]).
 //! * [`workloads`] — the seven evaluation benchmarks in native and simulated
 //!   form ([`ilan_workloads`]).
+//! * [`trace`] — the scheduler event-tracing layer: per-worker lock-free
+//!   rings, invariant auditor, Chrome-trace exporter ([`ilan_trace`]).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@ pub use ilan as scheduler;
 pub use ilan_numasim as sim;
 pub use ilan_runtime as runtime;
 pub use ilan_topology as topology;
+pub use ilan_trace as trace;
 pub use ilan_workloads as workloads;
 
 /// One-stop imports for examples and tests.
@@ -52,6 +55,7 @@ pub mod prelude {
     };
     pub use ilan_runtime::{ExecMode, LoopReport, PinMode, PoolConfig, ThreadPool};
     pub use ilan_topology::{presets, CoreId, CpuSet, NodeId, NodeMask, Topology};
+    pub use ilan_trace::{audit, AuditExpect, AuditReport, Event, EventKind, EventLog, NodeTally};
     pub use ilan_workloads::{Scale, SimApp, Workload, ALL_WORKLOADS};
 }
 

@@ -1,8 +1,179 @@
 //! Property-based tests over the whole stack.
 
 use ilan_suite::prelude::*;
+use ilan_suite::trace::{EventRing, Recorder, DISPATCHER};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Decodes an arbitrary `(tag, a, b)` triple into an event kind, covering
+/// every variant.
+fn kind_from(tag: u8, a: u32, b: u32) -> EventKind {
+    match tag % 8 {
+        0 => EventKind::ChunkEnqueue {
+            chunk: a,
+            home: b % 64,
+            strict: a.is_multiple_of(2),
+        },
+        1 => EventKind::LocalPop { chunk: a },
+        2 => EventKind::IntraNodeSteal { chunk: a, victim: b },
+        3 => EventKind::InterNodeSteal { chunk: a, from: b % 64 },
+        4 => EventKind::ChunkStart { chunk: a },
+        5 => EventKind::ChunkEnd { chunk: a },
+        6 => EventKind::LatchRelease,
+        _ => EventKind::ExplorationDecision {
+            site: a as u64,
+            threads: b,
+        },
+    }
+}
+
+/// A minimal strict JSON syntax checker (no external deps): returns an error
+/// with the byte offset of the first malformed construct.
+mod minijson {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        skip_ws(b, &mut i);
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at {i}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected {word} at {i}", i = *i))
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected string at {i}", i = *i));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                0x00..=0x1f => return Err(format!("raw control char at {i}", i = *i)),
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+        let start = *i;
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+        }
+        if matches!(b.get(*i), Some(b'e' | b'E')) {
+            *i += 1;
+            if matches!(b.get(*i), Some(b'+' | b'-')) {
+                *i += 1;
+            }
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+        }
+        if *i == start || b[start..*i] == [b'-'] {
+            Err(format!("bad number at {start}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected : at {i}", i = *i));
+                    }
+                    *i += 1;
+                    skip_ws(b, i);
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("malformed object at {i}", i = *i)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    value(b, i)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("malformed array at {i}", i = *i)),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => lit(b, i, "true"),
+            Some(b'f') => lit(b, i, "false"),
+            Some(b'n') => lit(b, i, "null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            _ => Err(format!("expected value at {i}", i = *i)),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(validate("{\"a\":[1,2.5,-3e4,true,null,\"x\"]}").is_ok());
+        for bad in ["{", "[1,]", "{\"a\"}", "nul", "1..2", "\"\\", "{}{}"] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -230,4 +401,79 @@ proptest! {
             "still unsettled after 12 invocations"
         );
     }
+
+    /// The bounded event ring keeps every event up to its capacity and
+    /// drops newest beyond it — never losing, reordering or corrupting the
+    /// committed prefix, with gap-free sequence numbers.
+    #[test]
+    fn ring_round_trips_without_loss_or_reorder(
+        events in proptest::collection::vec((0u8..8, 0u32..512, 0u32..64), 0..400),
+        cap in 1usize..200,
+    ) {
+        let ring = EventRing::with_capacity(cap);
+        let pushed: Vec<EventKind> = events
+            .iter()
+            .map(|&(tag, a, b)| kind_from(tag, a, b))
+            .collect();
+        for (i, kind) in pushed.iter().enumerate() {
+            ring.push(3, (i % 4) as u32, i as u64 * 7, *kind);
+        }
+        let kept = ring.snapshot();
+        prop_assert_eq!(kept.len(), pushed.len().min(cap));
+        prop_assert_eq!(ring.dropped(), pushed.len().saturating_sub(cap));
+        for (i, e) in kept.iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64, "sequence gap");
+            prop_assert_eq!(e.worker, 3);
+            prop_assert_eq!(e.time_ns, i as u64 * 7);
+            prop_assert_eq!(e.kind, pushed[i], "event corrupted in slot {i}");
+        }
+    }
+
+    /// The Chrome-trace exporter emits syntactically valid JSON for
+    /// arbitrary event logs — including unpaired starts/ends and events
+    /// from the dispatcher pseudo-worker.
+    #[test]
+    fn chrome_export_is_valid_json_for_arbitrary_logs(
+        events in proptest::collection::vec(
+            (0u8..8, 0u32..512, 0u32..64, 0u32..9, 0u64..1 << 40),
+            0..300,
+        ),
+    ) {
+        let mut rec = Recorder::new();
+        for &(tag, a, b, w, t) in &events {
+            let worker = if w == 8 { DISPATCHER } else { w };
+            rec.push(worker, b % 8, t, kind_from(tag, a, b));
+        }
+        let log = rec.into_log(8, 8);
+        let json = log.chrome_trace_json();
+        prop_assert!(json.contains("\"traceEvents\""));
+        if let Err(e) = minijson::validate(&json) {
+            prop_assert!(false, "invalid chrome JSON ({e}):\n{json}");
+        }
+    }
+}
+
+/// A real traced native run exports valid Chrome JSON with one complete
+/// (`"X"`) slice per executed chunk.
+#[test]
+fn native_chrome_export_is_valid_and_complete() {
+    let pool = ThreadPool::new(PoolConfig::new(presets::tiny_2x4()).pin(PinMode::Never)).unwrap();
+    let (report, log) = pool.taskloop_traced(
+        0..300,
+        7,
+        ExecMode::Hierarchical {
+            mask: pool.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 0.5,
+            policy: StealPolicy::Full,
+        },
+        |r| {
+            std::hint::black_box(r.sum::<usize>());
+        },
+    );
+    let json = log.chrome_trace_json();
+    minijson::validate(&json).expect("valid JSON");
+    let slices = json.matches("\"ph\":\"X\"").count();
+    assert_eq!(slices, report.tasks_executed());
+    assert!(json.contains("\"displayTimeUnit\""));
 }

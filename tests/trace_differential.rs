@@ -1,0 +1,151 @@
+//! Differential oracle: the same taskloop shape through the native runtime
+//! and the simulator, both traced, must tell the same scheduling story.
+//!
+//! The two backends share the blocked `ChunkAssignment` and strict-count
+//! rules but nothing else — queues, clocks and steal machinery are fully
+//! independent implementations. Their audited event logs must agree on
+//! everything the plan determines: the chunk → node assignment (with strict
+//! flags) and strict-chunk confinement. Timing-dependent facts (who stole
+//! what, when) are left to the auditor's internal invariants.
+
+use ilan_suite::prelude::*;
+
+const RANGE: usize = 512;
+const GRAIN: usize = 4; // 128 chunks on the 8-node EPYC preset
+
+fn native_run(policy: StealPolicy, strict_fraction: f64) -> (LoopReport, EventLog) {
+    let topo = presets::epyc_9354_2s();
+    let pool = ThreadPool::new(PoolConfig::new(topo.clone()).pin(PinMode::Never)).expect("pool");
+    let mode = ExecMode::Hierarchical {
+        mask: topo.all_nodes(),
+        threads: 0,
+        strict_fraction,
+        policy,
+    };
+    pool.taskloop_traced(0..RANGE, GRAIN, mode, |r| {
+        std::hint::black_box(r.sum::<usize>());
+    })
+}
+
+fn sim_run(policy: StealPolicy, strict_fraction: f64) -> LoopOutcome {
+    let topo = presets::epyc_9354_2s();
+    let num_chunks = RANGE / GRAIN;
+    let tasks: Vec<TaskSpec> = (0..num_chunks)
+        .map(|i| TaskSpec {
+            compute_ns: 20_000.0,
+            mem_bytes: 60_000.0,
+            home_node: NodeId::new(i * topo.num_nodes() / num_chunks),
+            locality: Locality::Chunked,
+            data_mask: topo.all_nodes(),
+            cache_reuse: 0.2,
+            fits_l3: true,
+        })
+        .collect();
+    let decision = Decision::Hierarchical {
+        threads: topo.num_cores(),
+        mask: topo.all_nodes(),
+        steal: policy,
+        strict_fraction,
+    };
+    let cores = ilan_suite::scheduler::driver::active_cores(&topo, topo.all_nodes(), 0);
+    let plan = ilan_suite::scheduler::driver::build_plan(&decision, num_chunks);
+    let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 17);
+    machine.run_taskloop_traced(&cores, &plan, &tasks)
+}
+
+fn audit_native(report: &LoopReport, log: &EventLog) -> AuditReport {
+    let expect = AuditExpect {
+        migrations: Some(report.migrations),
+        latch_releases: Some(report.threads),
+        per_node: Some(
+            report
+                .nodes
+                .iter()
+                .map(|n| NodeTally {
+                    tasks: n.tasks,
+                    local_tasks: Some(n.local_tasks),
+                })
+                .collect(),
+        ),
+    };
+    audit(log, &expect)
+}
+
+fn audit_sim(out: &LoopOutcome) -> AuditReport {
+    let expect = AuditExpect {
+        migrations: Some(out.migrations),
+        latch_releases: Some(out.threads),
+        per_node: Some(
+            out.nodes
+                .iter()
+                .map(|n| NodeTally {
+                    tasks: n.tasks,
+                    local_tasks: None,
+                })
+                .collect(),
+        ),
+    };
+    audit(&out.events, &expect)
+}
+
+#[test]
+fn strict_runs_agree_on_assignment_and_confinement() {
+    let (report, native_log) = native_run(StealPolicy::Strict, 1.0);
+    let sim_out = sim_run(StealPolicy::Strict, 1.0);
+
+    let na = audit_native(&report, &native_log);
+    assert!(na.ok(), "native audit failed: {na}");
+    let sa = audit_sim(&sim_out);
+    assert!(sa.ok(), "sim audit failed: {sa}");
+
+    // Identical chunk → node assignment, all chunks strict, in both logs.
+    let native_assign = native_log.chunk_assignment();
+    let sim_assign = sim_out.events.chunk_assignment();
+    assert_eq!(native_assign.len(), RANGE / GRAIN);
+    assert_eq!(native_assign, sim_assign);
+    assert!(native_assign.iter().all(|&(_, _, strict)| strict));
+
+    // Strict chunks never leave their assigned node, in either backend.
+    let homes: std::collections::HashMap<u32, u32> =
+        native_assign.iter().map(|&(c, h, _)| (c, h)).collect();
+    for log in [&native_log, &sim_out.events] {
+        for (chunk, node) in log.exec_nodes() {
+            assert_eq!(node, homes[&chunk], "chunk {chunk} escaped its node");
+        }
+    }
+    assert_eq!(report.migrations, 0);
+    assert_eq!(sim_out.migrations, 0);
+}
+
+#[test]
+fn full_runs_agree_on_assignment() {
+    let (report, native_log) = native_run(StealPolicy::Full, 0.5);
+    let sim_out = sim_run(StealPolicy::Full, 0.5);
+
+    let na = audit_native(&report, &native_log);
+    assert!(na.ok(), "native audit failed: {na}");
+    let sa = audit_sim(&sim_out);
+    assert!(sa.ok(), "sim audit failed: {sa}");
+
+    // The plan side is deterministic and shared: same assignment, same
+    // strict flags (here exactly half of each node's chunks).
+    let native_assign = native_log.chunk_assignment();
+    assert_eq!(native_assign, sim_out.events.chunk_assignment());
+    let strict_chunks: Vec<u32> = native_assign
+        .iter()
+        .filter(|&&(_, _, s)| s)
+        .map(|&(c, _, _)| c)
+        .collect();
+    assert_eq!(strict_chunks.len(), RANGE / GRAIN / 2);
+
+    // Even under Full stealing, strict chunks stay home in both backends.
+    let homes: std::collections::HashMap<u32, u32> =
+        native_assign.iter().map(|&(c, h, _)| (c, h)).collect();
+    for log in [&native_log, &sim_out.events] {
+        for (chunk, node) in log.exec_nodes() {
+            if strict_chunks.contains(&chunk) {
+                assert_eq!(node, homes[&chunk], "strict chunk {chunk} escaped");
+            }
+        }
+    }
+}
