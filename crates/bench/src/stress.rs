@@ -13,7 +13,7 @@
 //! whether the log is *consistent* does not). The `stress` binary prints it
 //! and exits non-zero on any violation; a test byte-compares two runs.
 
-use ilan_runtime::trace::{audit, AuditExpect, AuditReport, EventLog, NodeTally};
+use ilan_runtime::trace::{audit, AuditExpect, AuditReport, EventKind, EventLog, NodeTally};
 use ilan_runtime::{ExecMode, LoopReport, PinMode, PoolConfig, StealPolicy, ThreadPool};
 use ilan_topology::{presets, NodeMask};
 use rand::rngs::StdRng;
@@ -85,7 +85,11 @@ impl fmt::Display for StressSummary {
             } else {
                 format!("FAIL({})", it.violations.len())
             };
-            writeln!(f, "  [{i:03}] {} chunks={} audit={verdict}", it.shape, it.chunks)?;
+            writeln!(
+                f,
+                "  [{i:03}] {} chunks={} audit={verdict}",
+                it.shape, it.chunks
+            )?;
             for v in &it.violations {
                 writeln!(f, "        ! {v}")?;
             }
@@ -122,6 +126,46 @@ pub fn audit_invocation(report: &LoopReport, log: &EventLog) -> AuditReport {
     audit(log, &expect_from(report))
 }
 
+/// FNV-1a fingerprint of an invocation's chunk→node assignment, taken from
+/// the dispatcher's `ChunkEnqueue` events (chunk index, home node, strict
+/// flag, in chunk order). The assignment is a pure function of the loop
+/// shape — §3.3's deterministic blocked mapping — so the fingerprint must be
+/// identical across runs, schedules, wake modes and refactors; only the
+/// *placement policy itself* changing may move it.
+pub fn assignment_fingerprint(log: &EventLog) -> u64 {
+    let mut placed: Vec<(u32, u32, bool)> = log
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::ChunkEnqueue {
+                chunk,
+                home,
+                strict,
+            } => Some((chunk, home, strict)),
+            _ => None,
+        })
+        .collect();
+    placed.sort_unstable();
+    placement_fingerprint(&placed)
+}
+
+/// The fingerprint over an explicit `(chunk, home, strict)` placement list
+/// (which must be sorted by chunk index). Exposed so tests can recompute the
+/// expected value from [`ChunkAssignment`](ilan_runtime::ChunkAssignment)
+/// independently of the runtime's dispatch path.
+pub fn placement_fingerprint(placed: &[(u32, u32, bool)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &(chunk, home, strict) in placed {
+        mix(u64::from(chunk));
+        mix(u64::from(home));
+        mix(u64::from(strict));
+    }
+    h
+}
+
 /// Runs the randomized stress-audit loop (see module docs).
 pub fn run_stress(config: &StressConfig) -> StressSummary {
     let topo = presets::tiny_2x4();
@@ -132,8 +176,17 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
 
     for iter in 0..config.iters {
         // Ragged shapes: lengths that don't divide evenly into chunks.
-        let len = rng.random_range(1usize..2_000);
-        let grain = rng.random_range(1usize..40);
+        let mut len = rng.random_range(1usize..2_000);
+        let mut grain = rng.random_range(1usize..40);
+        // Batch-heavy shapes: single-iteration chunks over a long range put
+        // maximum pressure on the batched injector/deque transfers (hundreds
+        // of chunks moving in MAX_BATCH-sized gulps).
+        let batchy = rng.random_range(0u32..4) == 0;
+        if batchy {
+            len = rng.random_range(1_000usize..3_000);
+            grain = 1;
+        }
+        let tag = if batchy { "batch " } else { "" };
         // Mid-run topology restriction: the second half of the run confines
         // hierarchical invocations to node 0.
         let restricted = iter >= config.iters / 2;
@@ -150,10 +203,10 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
         };
         let threads = [0, 0, 2, 4][rng.random_range(0usize..4)];
         let (mode, shape) = match rng.random_range(0u32..4) {
-            0 => (ExecMode::Flat, format!("flat len={len} grain={grain}")),
+            0 => (ExecMode::Flat, format!("{tag}flat len={len} grain={grain}")),
             1 => (
                 ExecMode::WorkSharing,
-                format!("worksharing len={len} grain={grain}"),
+                format!("{tag}worksharing len={len} grain={grain}"),
             ),
             _ => (
                 ExecMode::Hierarchical {
@@ -163,7 +216,7 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
                     policy,
                 },
                 format!(
-                    "hier mask={mask:?} threads={threads} strict={strict_fraction} \
+                    "{tag}hier mask={mask:?} threads={threads} strict={strict_fraction} \
                      policy={policy:?} len={len} grain={grain}"
                 ),
             ),
@@ -174,7 +227,11 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
         let count = AtomicUsize::new(0);
         let (report, log) = pool.taskloop_traced(0..len, grain, mode, |r| {
             count.fetch_add(r.len(), Ordering::Relaxed);
-            let spins = if r.start % skew_stride == 0 { 50_000 } else { 1_000 };
+            let spins = if r.start % skew_stride == 0 {
+                50_000
+            } else {
+                1_000
+            };
             let mut acc = 0u64;
             for i in 0..spins {
                 acc = acc.wrapping_add(std::hint::black_box(i));
@@ -188,6 +245,9 @@ pub fn run_stress(config: &StressConfig) -> StressSummary {
                 count.load(Ordering::Relaxed)
             ));
         }
+        // The chunk→node assignment is deterministic for the shape, so its
+        // fingerprint belongs in the byte-compared summary.
+        let shape = format!("{shape} assign={:#018x}", assignment_fingerprint(&log));
         iterations.push(IterOutcome {
             shape,
             chunks: report.tasks_executed(),
@@ -240,6 +300,62 @@ mod tests {
         assert_ne!(a, c, "different seeds should draw different shapes");
     }
 
+    /// The exact placement `run_stress` shapes rely on: chunk→node via the
+    /// blocked assignment, strict prefix per node via the policy's strict
+    /// fraction. Mirrors the dispatcher's enqueue loop.
+    fn expected_placement(
+        mask: ilan_topology::NodeMask,
+        num_chunks: usize,
+        strict_fraction: f64,
+    ) -> Vec<(u32, u32, bool)> {
+        let assignment = ilan_runtime::ChunkAssignment::new(mask, num_chunks);
+        let mut placed = Vec::new();
+        for (rank, node) in mask.iter().enumerate() {
+            let idxs = assignment.chunks_of_rank(rank);
+            let strict_count = ((idxs.len() as f64) * strict_fraction).round() as usize;
+            for (j, idx) in idxs.enumerate() {
+                placed.push((idx as u32, node.index() as u32, j < strict_count));
+            }
+        }
+        placed.sort_unstable();
+        placed
+    }
+
+    #[test]
+    fn chunk_assignment_fingerprint_is_deterministic_and_golden() {
+        let topo = presets::tiny_2x4();
+        let pool =
+            ThreadPool::new(PoolConfig::new(topo.clone()).pin(PinMode::Never)).expect("pool");
+        let mode = ExecMode::Hierarchical {
+            mask: topo.all_nodes(),
+            threads: 0,
+            strict_fraction: 0.5,
+            policy: StealPolicy::Full,
+        };
+        // 130 iterations at grain 2 → 65 chunks: odd count, so the blocked
+        // split and the strict-fraction rounding both exercise remainders.
+        let (_, log_a) = pool.taskloop_traced(0..130, 2, mode.clone(), |_| {});
+        let (_, log_b) = pool.taskloop_traced(0..130, 2, mode, |_| {});
+        let fp = assignment_fingerprint(&log_a);
+        assert_eq!(
+            fp,
+            assignment_fingerprint(&log_b),
+            "assignment must not depend on the thread schedule"
+        );
+
+        // The same fingerprint recomputed from ChunkAssignment alone, without
+        // running anything: the runtime's enqueue order is pure policy.
+        let expected = expected_placement(topo.all_nodes(), 65, 0.5);
+        assert_eq!(fp, placement_fingerprint(&expected));
+
+        // Golden value: pins the §3.3 blocked mapping itself. If this moves,
+        // the placement policy changed — not just the schedule.
+        assert_eq!(
+            fp, 0xcdc0_a445_4a8e_29b4,
+            "chunk→node placement policy changed"
+        );
+    }
+
     #[test]
     fn forced_steal_demo_matches_policy() {
         // Full: node 1 drains its light chunks and must cross the socket.
@@ -255,7 +371,10 @@ mod tests {
                 break;
             }
         }
-        assert!(crossed > 0, "Full policy never produced an inter-node steal");
+        assert!(
+            crossed > 0,
+            "Full policy never produced an inter-node steal"
+        );
 
         // Strict: crossing is forbidden regardless of imbalance.
         let (report, log) = forced_steal_demo(StealPolicy::Strict);

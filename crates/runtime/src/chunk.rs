@@ -24,14 +24,31 @@ pub enum Grain {
     Auto,
 }
 
+/// Minimum iterations an [`Grain::Auto`] chunk targets. Loops too small to
+/// give every worker four chunks of this size get fewer chunks instead of
+/// single-iteration ones: a tiny loop split into `len` one-iteration tasks
+/// spends more time in the scheduler than in its body.
+const AUTO_MIN_CHUNK_ITERS: usize = 4;
+
 impl Grain {
     /// Resolves to a concrete grainsize for a loop of `len` iterations on
     /// `workers` workers. Always at least 1.
+    ///
+    /// `Auto` targets four chunks per worker, clamped so chunks keep at
+    /// least `AUTO_MIN_CHUNK_ITERS` (4) iterations (save a smaller final
+    /// remainder): the chunk count never exceeds `⌈len/4⌉`, and therefore
+    /// never exceeds `len`. Previously `len < 4·workers` resolved to
+    /// grainsize 1 and `len` single-iteration tasks.
     pub fn resolve(self, len: usize, workers: usize) -> usize {
         match self {
             Grain::Size(g) => g.max(1),
             Grain::Count(n) => len.div_ceil(n.max(1)).max(1),
-            Grain::Auto => len.div_ceil(4 * workers.max(1)).max(1),
+            Grain::Auto => {
+                let target_chunks = len
+                    .div_ceil(AUTO_MIN_CHUNK_ITERS)
+                    .clamp(1, 4 * workers.max(1));
+                len.div_ceil(target_chunks).max(1)
+            }
         }
     }
 }
@@ -100,6 +117,20 @@ impl ChunkAssignment {
         }
         out
     }
+
+    /// The contiguous range of chunk indices assigned to the node of mask
+    /// rank `rank` — the allocation-free inverse of
+    /// [`node_of_chunk`](Self::node_of_chunk) the dispatch hot path uses
+    /// instead of materialising [`per_node`](Self::per_node).
+    ///
+    /// # Panics
+    /// Panics (in debug) if `rank >= mask.count()`.
+    pub fn chunks_of_rank(&self, rank: usize) -> Range<usize> {
+        let k = self.mask.count();
+        debug_assert!(rank < k, "rank out of mask");
+        let n = self.num_chunks;
+        (rank * n).div_ceil(k)..((rank + 1) * n).div_ceil(k)
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +162,52 @@ mod tests {
         // Degenerate inputs stay sane.
         assert_eq!(Grain::Auto.resolve(1, 64), 1);
         assert_eq!(Grain::Auto.resolve(0, 0).max(1), 1);
+    }
+
+    #[test]
+    fn grain_auto_tiny_loops_do_not_drown_in_tasks() {
+        // Regression: len < 4·workers used to resolve to grainsize 1 and
+        // `len` single-iteration tasks. Now chunks keep ≥ 4 iterations.
+        let workers = 8;
+        for len in [1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 33, 63, 64, 127] {
+            let g = Grain::Auto.resolve(len, workers);
+            let chunks = chunk_ranges(0..len, g).len();
+            assert!(chunks <= len, "len={len}: {chunks} chunks > len");
+            assert!(
+                chunks <= len.div_ceil(4).max(1),
+                "len={len}: {chunks} chunks of grain {g} drown the loop"
+            );
+            assert!(
+                chunks <= 4 * workers,
+                "len={len}: {chunks} chunks exceed 4 per worker"
+            );
+        }
+        // Exact boundaries around len == 4·workers == 32.
+        assert_eq!(Grain::Auto.resolve(31, 8), 4); // 8 chunks
+        assert_eq!(Grain::Auto.resolve(32, 8), 4); // 8 chunks
+        assert_eq!(Grain::Auto.resolve(33, 8), 4); // 9 chunks
+        assert_eq!(Grain::Auto.resolve(128, 8), 4); // 32 chunks, full fan-out
+        assert_eq!(Grain::Auto.resolve(129, 8), 5); // count capped at 4·workers
+                                                    // Large loops keep the classic four-chunks-per-worker target.
+        assert_eq!(
+            chunk_ranges(0..6400, Grain::Auto.resolve(6400, 8)).len(),
+            32
+        );
+    }
+
+    #[test]
+    fn chunks_of_rank_matches_per_node() {
+        for (nodes, chunks) in [(1, 1), (2, 7), (3, 10), (4, 16), (8, 3), (5, 64)] {
+            let a = ChunkAssignment::new(NodeMask::first_n(nodes), chunks);
+            for (rank, (_, idxs)) in a.per_node().into_iter().enumerate() {
+                let range = a.chunks_of_rank(rank);
+                assert_eq!(
+                    range.clone().collect::<Vec<_>>(),
+                    idxs,
+                    "nodes={nodes} chunks={chunks} rank={rank}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //!
 //! The caller of a taskloop blocks on the latch until every chunk has been
 //! executed. Workers decrement; the final decrement wakes the waiter. Uses a
-//! short spin phase before parking, since taskloop tails are usually short.
+//! bounded-backoff spin phase before parking, since taskloop tails are
+//! usually short. The latch is resettable so one instance can serve every
+//! invocation of a pool's lifetime (the dispatch arena owns exactly one).
 
+use crate::sleep::Backoff;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -21,6 +24,17 @@ impl CountLatch {
             mutex: Mutex::new(()),
             cond: Condvar::new(),
         }
+    }
+
+    /// Re-arms a released latch to `count`. Must only be called when no
+    /// waiter is blocked and no decrement is in flight (the dispatcher
+    /// resets between invocations, after the previous wait returned).
+    pub(crate) fn reset(&self, count: usize) {
+        debug_assert!(
+            self.is_released(),
+            "resetting a latch that still has outstanding counts"
+        );
+        self.remaining.store(count, Ordering::Release);
     }
 
     /// Decrements the counter by one; the decrement that reaches zero
@@ -42,12 +56,15 @@ impl CountLatch {
 
     /// Blocks until the counter reaches zero.
     pub(crate) fn wait(&self) {
-        // Fast path + brief spin: most loops finish while the caller is hot.
-        for _ in 0..100 {
+        // Fast path + bounded backoff: most loops finish while the caller
+        // is hot, but unbounded spinning would steal cycles from the very
+        // workers being waited on.
+        let mut backoff = Backoff::new();
+        while !backoff.is_completed() {
             if self.is_released() {
                 return;
             }
-            std::hint::spin_loop();
+            backoff.snooze();
         }
         let mut guard = self.mutex.lock();
         while !self.is_released() {
@@ -76,6 +93,19 @@ mod tests {
         assert!(!l.is_released());
         l.count_down();
         assert!(l.is_released());
+    }
+
+    #[test]
+    fn reset_rearms_released_latch() {
+        let l = CountLatch::new(1);
+        l.count_down();
+        assert!(l.is_released());
+        l.reset(2);
+        assert!(!l.is_released());
+        l.count_down();
+        l.count_down();
+        assert!(l.is_released());
+        l.wait();
     }
 
     #[test]

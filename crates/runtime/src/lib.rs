@@ -46,10 +46,13 @@ mod latch;
 mod pin;
 mod pool;
 mod report;
+mod sleep;
 
 pub use chunk::{chunk_ranges, ChunkAssignment, Grain};
 pub use pin::{pin_current_thread, PinMode};
-pub use pool::{ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool};
+pub use pool::{
+    ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool, WakeMode, DEFAULT_INLINE_THRESHOLD,
+};
 pub use report::{LoopReport, NodeReport};
 
 /// Event-tracing layer (re-exported): [`trace::EventLog`] is what the traced

@@ -1,14 +1,45 @@
 //! The worker pool and taskloop execution engine.
+//!
+//! # Hot-path architecture
+//!
+//! The pool executes one taskloop at a time. All per-invocation state lives
+//! in a persistent **dispatch arena** owned by the pool ([`RunData`] inside
+//! [`Shared`]): the chunk table, the per-node injector set, the active-worker
+//! flags and the completion latch are allocated once and reused, so a warm
+//! invocation performs no heap allocation on the dispatch path.
+//!
+//! Workers sleep on private [`SleepSlot`]s (an eventcount each) instead of a
+//! global mutex/condvar. The dispatcher publishes a fresh epoch token into
+//! exactly the slots of the workers a loop activates, so a taskloop confined
+//! to a 2-node mask never wakes the other nodes' workers at all. The token
+//! encodes participation in its low bit — a worker woken without it (only
+//! possible under [`WakeMode::Broadcast`]) goes straight back to sleep
+//! without ever dereferencing the arena.
+//!
+//! Synchronisation protocol (the safety story for the `UnsafeCell` arena):
+//!
+//! 1. the dispatcher, holding the dispatch lock, mutates [`RunData`] while no
+//!    worker is active (the previous invocation's exit latch has released);
+//! 2. it then posts epoch tokens — the `SeqCst` epoch store in
+//!    [`SleepSlot::post`] publishes every arena write to the workers' acquire
+//!    loads in [`SleepSlot::wait`];
+//! 3. a participating worker reads the arena only between receiving its
+//!    token and decrementing the exit latch;
+//! 4. the dispatcher blocks on the exit latch before touching the arena
+//!    again (the latch decrement/`wait` pair is the closing AcqRel edge, so
+//!    workers may flush their statistics with relaxed stores).
 
-use crate::chunk::{chunk_ranges, ChunkAssignment, Grain};
+use crate::chunk::{ChunkAssignment, Grain};
 use crate::latch::CountLatch;
 use crate::pin::{pin_current_thread, PinMode};
 use crate::report::{LoopReport, NodeReport};
+use crate::sleep::{Backoff, SleepSlot};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam_utils::CachePadded;
 use ilan_topology::{NodeId, NodeMask, Topology};
 use ilan_trace::{EventKind, EventLog, TraceSet, DISPATCHER};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -53,6 +84,26 @@ pub enum ExecMode {
     },
 }
 
+/// How the dispatcher wakes workers for a new invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WakeMode {
+    /// Post the new epoch only to the workers the invocation activates;
+    /// everyone else sleeps through it. The default.
+    #[default]
+    Targeted,
+    /// Post to every worker, participating or not (the non-participants wake
+    /// only to go back to sleep). This reproduces the wakeup cost of the old
+    /// global-condvar broadcast and exists as an in-tree baseline for the
+    /// overhead benchmarks; it is never faster than `Targeted`.
+    Broadcast,
+}
+
+/// Loops of at most this many iterations (or resolving to a single chunk)
+/// run inline on the calling thread by default: below this size the fixed
+/// dispatch cost — wakeups, queue traffic, the implicit barrier — dwarfs any
+/// parallel speedup. Tune per pool with [`PoolConfig::inline_threshold`].
+pub const DEFAULT_INLINE_THRESHOLD: usize = 32;
+
 /// Pool construction parameters.
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
@@ -60,20 +111,41 @@ pub struct PoolConfig {
     pub topology: Topology,
     /// Pinning behaviour.
     pub pin: PinMode,
+    /// Wakeup strategy for new invocations.
+    pub wake: WakeMode,
+    /// Loops with at most this many iterations execute inline on the caller
+    /// (see [`DEFAULT_INLINE_THRESHOLD`]). Set to 0 to dispatch everything
+    /// except single-chunk loops.
+    pub inline_threshold: usize,
 }
 
 impl PoolConfig {
-    /// Configuration with default (auto) pinning.
+    /// Configuration with default (auto) pinning, targeted wakeups and the
+    /// default inline threshold.
     pub fn new(topology: Topology) -> Self {
         PoolConfig {
             topology,
             pin: PinMode::Auto,
+            wake: WakeMode::default(),
+            inline_threshold: DEFAULT_INLINE_THRESHOLD,
         }
     }
 
     /// Sets the pinning mode.
     pub fn pin(mut self, pin: PinMode) -> Self {
         self.pin = pin;
+        self
+    }
+
+    /// Sets the wakeup strategy.
+    pub fn wake(mut self, wake: WakeMode) -> Self {
+        self.wake = wake;
+        self
+    }
+
+    /// Sets the sequential-inline threshold.
+    pub fn inline_threshold(mut self, iters: usize) -> Self {
+        self.inline_threshold = iters;
         self
     }
 }
@@ -104,39 +176,74 @@ impl std::error::Error for PoolError {}
 ///
 /// Validity: the dispatching call does not return until every active worker
 /// has left the loop (worker-exit latch), so the pointee outlives all
-/// dereferences.
+/// dereferences. Between invocations the arena parks a pointer to a static
+/// no-op so it never dangles into a returned stack frame.
 struct BodyPtr(*const (dyn Fn(Range<usize>) + Sync));
 // SAFETY: the pointee is `Sync` and only shared for the duration of the
 // dispatch call, which outlives all uses (see struct docs).
 unsafe impl Send for BodyPtr {}
 unsafe impl Sync for BodyPtr {}
 
+fn noop_body(_: Range<usize>) {}
+
+impl BodyPtr {
+    fn noop() -> BodyPtr {
+        static NOOP: fn(Range<usize>) = noop_body;
+        BodyPtr(&NOOP as &(dyn Fn(Range<usize>) + Sync) as *const _)
+    }
+}
+
 /// One chunk of a taskloop.
 struct Chunk {
     range: Range<usize>,
     /// The node this chunk is assigned to (its data home under blocked
-    /// first-touch initialisation).
+    /// first-touch initialisation; the mask assignment in hierarchical
+    /// mode — matching the paper's definition of a migration).
     home: NodeId,
 }
 
-// One `Queues` exists per taskloop invocation, so the size spread between
-// variants is irrelevant next to the allocation traffic it gates.
-#[allow(clippy::large_enum_variant)]
-enum Queues {
-    Flat(Injector<usize>),
-    Hier {
-        /// Per-node queue of NUMA-strict chunk indices.
-        strict: Vec<Injector<usize>>,
-        /// Per-node queue of chunks stealable across nodes.
-        shared: Vec<Injector<usize>>,
-        policy: StealPolicy,
-    },
-    /// Per-worker contiguous chunk-index slices.
-    Static(Vec<Range<usize>>),
+/// Which acquisition discipline the current invocation uses. The queues
+/// themselves are persistent ([`QueueSet`]); this only selects among them.
+#[derive(Clone, Copy)]
+enum QueueKind {
+    Flat,
+    Hier { policy: StealPolicy },
+    Static,
 }
 
+/// The pool's persistent injector set, reused by every invocation. Queues
+/// are fully drained by the invocation that filled them (exactly-once
+/// execution), so reuse needs no cleanup — a debug assertion checks.
+struct QueueSet {
+    flat: Injector<usize>,
+    /// Per-node queue of NUMA-strict chunk indices.
+    strict: Vec<Injector<usize>>,
+    /// Per-node queue of chunks stealable across nodes.
+    shared: Vec<Injector<usize>>,
+}
+
+impl QueueSet {
+    fn new(num_nodes: usize) -> Self {
+        QueueSet {
+            flat: Injector::new(),
+            strict: (0..num_nodes).map(|_| Injector::new()).collect(),
+            shared: (0..num_nodes).map(|_| Injector::new()).collect(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn is_empty(&self) -> bool {
+        self.flat.is_empty()
+            && self.strict.iter().all(Injector::is_empty)
+            && self.shared.iter().all(Injector::is_empty)
+    }
+}
+
+/// Per-node statistic counters. Each instance is wrapped in `CachePadded`
+/// inside [`Shared::node_stats`] so two nodes' counters never share a cache
+/// line (workers of different nodes would otherwise false-share on flush).
 struct NodeAtomics {
-    tasks: CachePadded<AtomicUsize>,
+    tasks: AtomicUsize,
     local_tasks: AtomicUsize,
     busy_ns: AtomicU64,
 }
@@ -144,33 +251,43 @@ struct NodeAtomics {
 impl NodeAtomics {
     fn new() -> Self {
         NodeAtomics {
-            tasks: CachePadded::new(AtomicUsize::new(0)),
+            tasks: AtomicUsize::new(0),
             local_tasks: AtomicUsize::new(0),
             busy_ns: AtomicU64::new(0),
         }
     }
+
+    fn reset(&self) {
+        self.tasks.store(0, Ordering::Relaxed);
+        self.local_tasks.store(0, Ordering::Relaxed);
+        self.busy_ns.store(0, Ordering::Relaxed);
+    }
 }
 
-struct LoopRun {
+/// The dispatch arena: all mutable per-invocation state, reused across the
+/// pool's lifetime. Mutated only by the dispatcher between invocations (see
+/// the module-level protocol); read by participating workers during one.
+struct RunData {
     body: BodyPtr,
+    kind: QueueKind,
     chunks: Vec<Chunk>,
-    queues: Queues,
-    /// Which workers participate in this invocation.
+    /// Which workers participate in this invocation. Only the dispatcher
+    /// reads this (to decide whom to wake); workers learn of participation
+    /// from their epoch token's low bit.
     active: Vec<bool>,
-    /// Released when every active worker has left the loop.
-    exit_latch: CountLatch,
-    node_stats: Vec<NodeAtomics>,
-    migrations: AtomicUsize,
-    overhead_ns: AtomicU64,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Per-worker contiguous chunk-index slices (work-sharing mode only).
+    static_slices: Vec<Range<usize>>,
     threads: usize,
     /// Per-worker event rings; `None` outside traced invocations.
     trace: Option<TraceSet>,
+    /// Rings kept from the previous traced invocation, reused when large
+    /// enough so back-to-back traced loops do not reallocate.
+    trace_cache: Option<TraceSet>,
     /// Trace epoch: event timestamps are nanoseconds since this instant.
     t0: Instant,
 }
 
-impl LoopRun {
+impl RunData {
     /// Records a worker event when tracing is on; a single predictable
     /// branch otherwise.
     #[inline]
@@ -186,22 +303,38 @@ impl LoopRun {
     }
 }
 
-struct SyncState {
-    epoch: u64,
-    run: Option<Arc<LoopRun>>,
-}
-
 struct Shared {
     topology: Topology,
-    sync: Mutex<SyncState>,
-    cond: Condvar,
     shutdown: AtomicBool,
-    /// Stealer handles onto every worker's private Chase–Lev deque, indexed
-    /// by worker (== core) id. Intra-node peers steal through these; remote
-    /// steals go through the shared injectors only, so NUMA-strict chunks
-    /// never leave their node once they reach a private deque.
+    /// Monotone invocation counter; `(epoch << 1) | participate` is the
+    /// token posted into sleep slots.
+    epoch: AtomicU64,
+    /// One sleep slot per worker (each internally cache-padded).
+    slots: Vec<SleepSlot>,
+    /// Stealer handles onto every worker's private deque, indexed by worker
+    /// (== core) id. Intra-node peers steal through these; remote steals go
+    /// through the shared injectors only, so NUMA-strict chunks never leave
+    /// their node once they reach a private deque.
     stealers: Vec<Stealer<usize>>,
+    queues: QueueSet,
+    /// The dispatch arena (see module docs for the access protocol).
+    run: UnsafeCell<RunData>,
+    /// Per-node counters, one cache line each.
+    node_stats: Vec<CachePadded<NodeAtomics>>,
+    migrations: CachePadded<AtomicUsize>,
+    overhead_ns: CachePadded<AtomicU64>,
+    /// Released when every active worker has left the loop; reset by the
+    /// dispatcher between invocations.
+    exit_latch: CountLatch,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
+
+// SAFETY: the `UnsafeCell<RunData>` is governed by the epoch/latch protocol
+// documented at module level — the dispatcher only takes `&mut` while no
+// worker holds `&` (before posting tokens / after the exit latch releases),
+// and workers only take `&` inside their participation window. Every other
+// field is inherently Sync.
+unsafe impl Sync for Shared {}
 
 /// A pool of worker threads, one per topology core.
 ///
@@ -215,25 +348,44 @@ pub struct ThreadPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     dispatch_lock: Mutex<()>,
     pinned_workers: usize,
+    wake: WakeMode,
+    inline_threshold: usize,
 }
 
 impl ThreadPool {
     /// Spawns one worker per topology core.
     pub fn new(config: PoolConfig) -> Result<Self, PoolError> {
         let cores = config.topology.num_cores();
-        // One private Chase–Lev deque per worker; the Worker end moves into
-        // its thread, the Stealer ends are shared.
+        let num_nodes = config.topology.num_nodes();
+        // One private deque per worker; the Worker end moves into its
+        // thread, the Stealer ends are shared.
         let mut deques: Vec<Deque<usize>> = (0..cores).map(|_| Deque::new_fifo()).collect();
         let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
         let shared = Arc::new(Shared {
             topology: config.topology.clone(),
-            sync: Mutex::new(SyncState {
-                epoch: 0,
-                run: None,
-            }),
-            cond: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            slots: (0..cores).map(|_| SleepSlot::new()).collect(),
             stealers,
+            queues: QueueSet::new(num_nodes),
+            run: UnsafeCell::new(RunData {
+                body: BodyPtr::noop(),
+                kind: QueueKind::Flat,
+                chunks: Vec::new(),
+                active: Vec::new(),
+                static_slices: Vec::new(),
+                threads: 0,
+                trace: None,
+                trace_cache: None,
+                t0: Instant::now(),
+            }),
+            node_stats: (0..num_nodes)
+                .map(|_| CachePadded::new(NodeAtomics::new()))
+                .collect(),
+            migrations: CachePadded::new(AtomicUsize::new(0)),
+            overhead_ns: CachePadded::new(AtomicU64::new(0)),
+            exit_latch: CountLatch::new(0),
+            panic: Mutex::new(None),
         });
 
         let pin_results: Arc<Vec<AtomicBool>> =
@@ -253,6 +405,9 @@ impl ThreadPool {
                         let ok = pin_current_thread(ilan_topology::CoreId::new(i));
                         pin_results[i].store(ok, Ordering::Release);
                     }
+                    // Register the thread handle before signalling ready: the
+                    // ready latch orders it against the first post().
+                    shared.slots[i].register(std::thread::current());
                     ready.count_down();
                     worker_main(&shared, i, &deque);
                 })
@@ -271,11 +426,7 @@ impl ThreadPool {
                 .position(|r| !r.load(Ordering::Acquire))
                 .unwrap_or(0);
             // Tear the pool down before reporting failure.
-            shared.shutdown.store(true, Ordering::Release);
-            {
-                let _g = shared.sync.lock();
-                shared.cond.notify_all();
-            }
+            shutdown_workers(&shared);
             for h in handles {
                 let _ = h.join();
             }
@@ -287,6 +438,8 @@ impl ThreadPool {
             handles,
             dispatch_lock: Mutex::new(()),
             pinned_workers: pinned,
+            wake: config.wake,
+            inline_threshold: config.inline_threshold,
         })
     }
 
@@ -311,8 +464,8 @@ impl ThreadPool {
     /// taskloop's implicit barrier), then returns the invocation report.
     ///
     /// # Panics
-    /// Re-raises any panic from the body, and panics if `grainsize == 0` or
-    /// a hierarchical mode references an empty node mask.
+    /// Re-raises any panic from the body, and panics if a hierarchical mode
+    /// references an empty node mask.
     pub fn taskloop<F>(
         &self,
         range: Range<usize>,
@@ -338,13 +491,35 @@ impl ThreadPool {
     where
         F: Fn(Range<usize>) + Sync,
     {
-        self.run_loop(range, grain, mode, &body, false).0
+        let mut report = LoopReport::default();
+        self.run_loop(range, grain, mode, &body, false, &mut report);
+        report
+    }
+
+    /// Like [`taskloop_with`](Self::taskloop_with), writing the statistics
+    /// into a caller-provided report instead of returning a fresh one. The
+    /// report's node vector is reused (cleared and refilled), so an
+    /// iterative caller invoking many loops allocates nothing per
+    /// invocation once warm.
+    pub fn taskloop_into<F>(
+        &self,
+        range: Range<usize>,
+        grain: Grain,
+        mode: ExecMode,
+        body: F,
+        report: &mut LoopReport,
+    ) where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.run_loop(range, grain, mode, &body, false, report);
     }
 
     /// Like [`taskloop`](Self::taskloop), additionally recording every
     /// scheduler action (enqueues, pops, steals, chunk start/end, latch
     /// releases) into per-worker lock-free rings and returning the merged
-    /// [`EventLog`] alongside the report.
+    /// [`EventLog`] alongside the report. Traced loops always take the full
+    /// dispatch path (never the sequential inline shortcut), since the
+    /// point of tracing is to observe the scheduler.
     pub fn taskloop_traced<F>(
         &self,
         range: Range<usize>,
@@ -369,7 +544,8 @@ impl ThreadPool {
     where
         F: Fn(Range<usize>) + Sync,
     {
-        let (report, log) = self.run_loop(range, grain, mode, &body, true);
+        let mut report = LoopReport::default();
+        let log = self.run_loop(range, grain, mode, &body, true, &mut report);
         (report, log.expect("traced run always yields a log"))
     }
 
@@ -380,265 +556,403 @@ impl ThreadPool {
         mode: ExecMode,
         body: &(dyn Fn(Range<usize>) + Sync),
         traced: bool,
-    ) -> (LoopReport, Option<EventLog>) {
-        let _dispatch_guard = self.dispatch_lock.lock();
-        let topo = &self.shared.topology;
-        let num_nodes = topo.num_nodes();
+        report: &mut LoopReport,
+    ) -> Option<EventLog> {
         let all_workers = self.num_workers();
-        let grainsize = grain.resolve(range.len(), all_workers);
-        let ranges = chunk_ranges(range, grainsize);
-        let num_chunks = ranges.len();
+        let len = range.len();
+        let grainsize = grain.resolve(len, all_workers);
+        let num_chunks = len.div_ceil(grainsize);
 
-        // Data homes: blocked first-touch layout over all nodes, identical in
-        // every mode so locality statistics are comparable.
-        let data_homes = ChunkAssignment::new(topo.all_nodes(), num_chunks.max(1));
-        let chunks: Vec<Chunk> = ranges
-            .into_iter()
-            .enumerate()
-            .map(|(i, range)| Chunk {
-                range,
-                home: data_homes.node_of_chunk(i),
-            })
-            .collect();
+        // Validate hierarchical parameters before choosing a path, so the
+        // inline shortcut rejects exactly what the dispatch path rejects.
+        if let ExecMode::Hierarchical {
+            mask,
+            strict_fraction,
+            ..
+        } = &mode
+        {
+            assert!(!mask.is_empty(), "hierarchical mode needs a non-empty mask");
+            assert!(
+                (0.0..=1.0).contains(strict_fraction),
+                "strict_fraction must be in [0,1]"
+            );
+        }
 
-        // Resolve the active worker set and the queues.
-        let mut active = vec![false; all_workers];
-        let mut strict_flags = vec![false; num_chunks];
-        let queues = match &mode {
-            ExecMode::Flat => {
-                active.iter_mut().for_each(|a| *a = true);
-                let q = Injector::new();
-                for i in 0..num_chunks {
-                    q.push(i);
-                }
-                Queues::Flat(q)
-            }
-            ExecMode::WorkSharing => {
-                active.iter_mut().for_each(|a| *a = true);
-                let mut slices = Vec::with_capacity(all_workers);
-                for w in 0..all_workers {
-                    let lo = w * num_chunks / all_workers;
-                    let hi = (w + 1) * num_chunks / all_workers;
-                    slices.push(lo..hi);
-                }
-                Queues::Static(slices)
-            }
-            ExecMode::Hierarchical {
-                mask,
-                threads,
-                strict_fraction,
-                policy,
-            } => {
-                assert!(!mask.is_empty(), "hierarchical mode needs a non-empty mask");
-                assert!(
-                    (0.0..=1.0).contains(strict_fraction),
-                    "strict_fraction must be in [0,1]"
-                );
-                // Distribute threads over the mask's nodes, lowest cores
-                // first within each node.
-                let k = mask.count();
-                let max_threads = k * topo.cores_per_node();
-                let want = if *threads == 0 {
-                    max_threads
-                } else {
-                    (*threads).min(max_threads)
+        // Sequential inline fast path: a loop too small to amortize a
+        // dispatch — or one that is a single chunk and therefore sequential
+        // anyway — runs on the calling thread with no wakeups, no queue
+        // traffic and no trace-ring writes.
+        if !traced && (len <= self.inline_threshold || num_chunks <= 1) {
+            self.run_inline(range, grainsize, num_chunks, &mode, body, report);
+            return None;
+        }
+
+        let _dispatch_guard = self.dispatch_lock.lock();
+        let shared = &*self.shared;
+        let topo = &shared.topology;
+        let num_nodes = topo.num_nodes();
+
+        // Chunks are placed on the mask's nodes in hierarchical mode (that
+        // assignment defines a migration, per the paper); on the blocked
+        // first-touch layout over all nodes otherwise, so locality
+        // statistics are comparable across modes.
+        let assignment = match &mode {
+            ExecMode::Hierarchical { mask, .. } => ChunkAssignment::new(*mask, num_chunks.max(1)),
+            _ => ChunkAssignment::new(topo.all_nodes(), num_chunks.max(1)),
+        };
+
+        {
+            // SAFETY: dispatch lock held, and every worker of the previous
+            // invocation has passed its exit-latch decrement (the previous
+            // run_loop waited on the latch before returning), so no other
+            // thread references the arena.
+            let rd = unsafe { &mut *shared.run.get() };
+            rd.t0 = Instant::now();
+
+            rd.trace = if traced {
+                // Generous ring bounds: a worker emits at most one
+                // acquisition, one start, and one end per chunk, plus its
+                // latch release; the dispatcher one enqueue per chunk.
+                let need_worker = 3 * num_chunks + 4;
+                let need_disp = num_chunks + 4;
+                let mut t = match rd.trace_cache.take() {
+                    Some(t)
+                        if t.num_rings() == all_workers
+                            && t.worker_capacity() >= need_worker
+                            && t.dispatcher_capacity() >= need_disp =>
+                    {
+                        t
+                    }
+                    _ => TraceSet::new(all_workers, need_worker, need_disp),
                 };
-                for (rank, node) in mask.iter().enumerate() {
-                    let per = want / k + usize::from(rank < want % k);
-                    for core in topo.cores_of_node(node).take(per) {
-                        active[core.index()] = true;
-                    }
-                }
-                // Ensure at least the primary of the first node is active.
-                if !active.iter().any(|&a| a) {
-                    active[topo.primary_core(mask.first().unwrap()).index()] = true;
-                }
+                t.reset();
+                Some(t)
+            } else {
+                None
+            };
 
-                let strict: Vec<Injector<usize>> =
-                    (0..num_nodes).map(|_| Injector::new()).collect();
-                let shared: Vec<Injector<usize>> =
-                    (0..num_nodes).map(|_| Injector::new()).collect();
-                let assignment = ChunkAssignment::new(*mask, num_chunks.max(1));
-                for (node, idxs) in assignment.per_node() {
-                    let strict_count = match policy {
-                        StealPolicy::Strict => idxs.len(),
-                        StealPolicy::Full => {
-                            ((idxs.len() as f64) * strict_fraction).round() as usize
-                        }
-                    };
-                    for (j, idx) in idxs.into_iter().enumerate() {
-                        if j < strict_count {
-                            strict_flags[idx] = true;
-                            strict[node.index()].push(idx);
-                        } else {
-                            shared[node.index()].push(idx);
-                        }
-                    }
-                }
-                Queues::Hier {
-                    strict,
-                    shared,
-                    policy: *policy,
-                }
-            }
-        };
-
-        // In hierarchical mode chunks are assigned to the mask's nodes, not
-        // their data homes; recompute homes so migration statistics reflect
-        // the *assignment* (matching the paper's definition of a migration).
-        let chunks = if let ExecMode::Hierarchical { mask, .. } = &mode {
-            let assignment = ChunkAssignment::new(*mask, num_chunks.max(1));
-            chunks
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| Chunk {
-                    range: c.range,
+            rd.chunks.clear();
+            let mut lo = range.start;
+            let mut i = 0usize;
+            while lo < range.end {
+                let hi = (lo + grainsize).min(range.end);
+                rd.chunks.push(Chunk {
+                    range: lo..hi,
                     home: assignment.node_of_chunk(i),
-                })
-                .collect()
-        } else {
-            chunks
-        };
+                });
+                lo = hi;
+                i += 1;
+            }
+            debug_assert_eq!(rd.chunks.len(), num_chunks);
 
-        let threads = active.iter().filter(|&&a| a).count();
-        let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
-        // SAFETY: extending the body's lifetime; validity argued on BodyPtr.
-        let body_ptr = BodyPtr(unsafe {
-            std::mem::transmute::<
-                *const (dyn Fn(Range<usize>) + Sync),
-                *const (dyn Fn(Range<usize>) + Sync),
-            >(body_ref as *const _)
-        });
+            rd.active.clear();
+            rd.active.resize(all_workers, false);
+            #[cfg(debug_assertions)]
+            debug_assert!(
+                shared.queues.is_empty(),
+                "queues left dirty by the previous invocation"
+            );
 
-        // Generous ring bounds: a worker emits at most one acquisition, one
-        // start, and one end per chunk, plus its latch release; the
-        // dispatcher emits one enqueue per chunk.
-        let trace = traced.then(|| TraceSet::new(all_workers, 3 * num_chunks + 4, num_chunks + 4));
-        let run = Arc::new(LoopRun {
-            body: body_ptr,
-            chunks,
-            queues,
-            active,
-            exit_latch: CountLatch::new(threads),
-            node_stats: (0..num_nodes).map(|_| NodeAtomics::new()).collect(),
-            migrations: AtomicUsize::new(0),
-            overhead_ns: AtomicU64::new(0),
-            panic: Mutex::new(None),
-            threads,
-            trace,
-            t0: Instant::now(),
-        });
+            rd.kind = match &mode {
+                ExecMode::Flat => {
+                    rd.active.iter_mut().for_each(|a| *a = true);
+                    for (idx, c) in rd.chunks.iter().enumerate() {
+                        shared.queues.flat.push(idx);
+                        emit_enqueue(&rd.trace, rd.t0, idx, c.home, false);
+                    }
+                    QueueKind::Flat
+                }
+                ExecMode::WorkSharing => {
+                    rd.active.iter_mut().for_each(|a| *a = true);
+                    rd.static_slices.clear();
+                    for w in 0..all_workers {
+                        let lo = w * num_chunks / all_workers;
+                        let hi = (w + 1) * num_chunks / all_workers;
+                        rd.static_slices.push(lo..hi);
+                    }
+                    for (idx, c) in rd.chunks.iter().enumerate() {
+                        emit_enqueue(&rd.trace, rd.t0, idx, c.home, false);
+                    }
+                    QueueKind::Static
+                }
+                ExecMode::Hierarchical {
+                    mask,
+                    threads,
+                    strict_fraction,
+                    policy,
+                } => {
+                    // Distribute threads over the mask's nodes, lowest cores
+                    // first within each node.
+                    let k = mask.count();
+                    let max_threads = k * topo.cores_per_node();
+                    let want = if *threads == 0 {
+                        max_threads
+                    } else {
+                        (*threads).min(max_threads)
+                    };
+                    for (rank, node) in mask.iter().enumerate() {
+                        let per = want / k + usize::from(rank < want % k);
+                        for core in topo.cores_of_node(node).take(per) {
+                            rd.active[core.index()] = true;
+                        }
+                    }
+                    // Ensure at least the primary of the first node is active.
+                    if !rd.active.iter().any(|&a| a) {
+                        rd.active[topo.primary_core(mask.first().unwrap()).index()] = true;
+                    }
 
-        // Record the dispatch: where every chunk was placed, before any
-        // worker can observe the new epoch.
-        if let Some(trace) = &run.trace {
-            for (i, c) in run.chunks.iter().enumerate() {
-                trace.dispatcher().push(
-                    DISPATCHER,
-                    c.home.index() as u32,
-                    run.t0.elapsed().as_nanos() as u64,
-                    EventKind::ChunkEnqueue {
-                        chunk: i as u32,
-                        home: c.home.index() as u32,
-                        strict: strict_flags[i],
-                    },
-                );
+                    // Enqueue each node's contiguous chunk slice: the first
+                    // `strict_count` stay NUMA-strict, the tail is stealable.
+                    for (rank, node) in mask.iter().enumerate() {
+                        let idxs = assignment.chunks_of_rank(rank);
+                        let strict_count = match policy {
+                            StealPolicy::Strict => idxs.len(),
+                            StealPolicy::Full => {
+                                ((idxs.len() as f64) * strict_fraction).round() as usize
+                            }
+                        };
+                        for (j, idx) in idxs.enumerate() {
+                            let strict = j < strict_count;
+                            if strict {
+                                shared.queues.strict[node.index()].push(idx);
+                            } else {
+                                shared.queues.shared[node.index()].push(idx);
+                            }
+                            emit_enqueue(&rd.trace, rd.t0, idx, node, strict);
+                        }
+                    }
+                    QueueKind::Hier { policy: *policy }
+                }
+            };
+
+            rd.threads = rd.active.iter().filter(|&&a| a).count();
+            // SAFETY: lifetime extension only; validity argued on BodyPtr.
+            rd.body = BodyPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(Range<usize>) + Sync),
+                    *const (dyn Fn(Range<usize>) + Sync),
+                >(body as *const _)
+            });
+
+            for s in &shared.node_stats {
+                s.reset();
+            }
+            shared.migrations.store(0, Ordering::Relaxed);
+            shared.overhead_ns.store(0, Ordering::Relaxed);
+            shared.exit_latch.reset(rd.threads);
+        }
+
+        // Publication: the arena is complete; from here only shared
+        // references exist until the exit latch releases.
+        // SAFETY: the `&mut` above has ended; workers also only take `&`.
+        let rd = unsafe { &*shared.run.get() };
+        let start = Instant::now();
+        let epoch = shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let run_token = (epoch << 1) | 1;
+        let idle_token = epoch << 1;
+        match self.wake {
+            WakeMode::Targeted => {
+                for (i, &a) in rd.active.iter().enumerate() {
+                    if a {
+                        shared.slots[i].post(run_token);
+                    }
+                }
+            }
+            WakeMode::Broadcast => {
+                for (i, &a) in rd.active.iter().enumerate() {
+                    shared.slots[i].post(if a { run_token } else { idle_token });
+                }
             }
         }
-
-        let start = Instant::now();
-        {
-            let mut g = self.shared.sync.lock();
-            g.epoch += 1;
-            g.run = Some(Arc::clone(&run));
-            self.shared.cond.notify_all();
-        }
-        run.exit_latch.wait();
+        shared.exit_latch.wait();
         let makespan = start.elapsed();
-        {
-            let mut g = self.shared.sync.lock();
-            g.run = None;
-        }
 
-        if let Some(payload) = run.panic.lock().take() {
+        if let Some(payload) = shared.panic.lock().take() {
             std::panic::resume_unwind(payload);
         }
 
-        let nodes: Vec<NodeReport> = run
-            .node_stats
-            .iter()
-            .map(|s| NodeReport {
+        report.makespan = makespan;
+        report.sched_overhead = Duration::from_nanos(shared.overhead_ns.load(Ordering::Acquire));
+        report.nodes.clear();
+        report
+            .nodes
+            .extend(shared.node_stats.iter().map(|s| NodeReport {
                 tasks: s.tasks.load(Ordering::Acquire),
                 local_tasks: s.local_tasks.load(Ordering::Acquire),
                 busy: Duration::from_nanos(s.busy_ns.load(Ordering::Acquire)),
-            })
-            .collect();
-
-        let migrations = run.migrations.load(Ordering::Acquire);
+            }));
+        report.migrations = shared.migrations.load(Ordering::Acquire);
+        report.threads = rd.threads;
         // The report's defining relation: a chunk is either local to the
         // node that ran it or it migrated there, never both, never neither.
         debug_assert_eq!(
-            nodes.iter().map(|n| n.tasks).sum::<usize>(),
-            nodes.iter().map(|n| n.local_tasks).sum::<usize>() + migrations,
+            report.nodes.iter().map(|n| n.tasks).sum::<usize>(),
+            report.nodes.iter().map(|n| n.local_tasks).sum::<usize>() + report.migrations,
             "LoopReport inconsistent: tasks != local_tasks + migrations"
         );
 
-        let log = run.trace.as_ref().map(|t| t.collect(num_nodes));
-        let report = LoopReport {
-            makespan,
-            sched_overhead: Duration::from_nanos(run.overhead_ns.load(Ordering::Acquire)),
-            nodes,
-            migrations,
-            threads: run.threads,
+        // SAFETY: all workers have quiesced (latch released above); the
+        // shared reborrow `rd` is dead past this point.
+        let rd = unsafe { &mut *shared.run.get() };
+        rd.body = BodyPtr::noop();
+        rd.trace.take().map(|t| {
+            let log = t.collect(num_nodes);
+            rd.trace_cache = Some(t);
+            log
+        })
+    }
+
+    /// The sequential fast path: executes every chunk on the calling thread,
+    /// attributing each to its assigned home node (which it trivially
+    /// executes "on", so the loop is fully local and migration-free).
+    fn run_inline(
+        &self,
+        range: Range<usize>,
+        grainsize: usize,
+        num_chunks: usize,
+        mode: &ExecMode,
+        body: &(dyn Fn(Range<usize>) + Sync),
+        report: &mut LoopReport,
+    ) {
+        let topo = self.topology();
+        report.nodes.clear();
+        report.nodes.resize(topo.num_nodes(), NodeReport::default());
+
+        let assignment = match mode {
+            ExecMode::Hierarchical { mask, .. } => ChunkAssignment::new(*mask, num_chunks.max(1)),
+            _ => ChunkAssignment::new(topo.all_nodes(), num_chunks.max(1)),
         };
-        (report, log)
+
+        let start = Instant::now();
+        let mut lo = range.start;
+        let mut i = 0usize;
+        while lo < range.end {
+            let hi = (lo + grainsize).min(range.end);
+            let home = assignment.node_of_chunk(i);
+            let body_start = Instant::now();
+            body(lo..hi);
+            let elapsed = body_start.elapsed();
+            let n = &mut report.nodes[home.index()];
+            n.tasks += 1;
+            n.local_tasks += 1;
+            n.busy += elapsed;
+            lo = hi;
+            i += 1;
+        }
+        report.makespan = start.elapsed();
+        report.sched_overhead = Duration::ZERO;
+        report.migrations = 0;
+        report.threads = 1;
+    }
+}
+
+/// Wakes every worker for shutdown: the posted token has the participate
+/// bit clear, so woken workers check the shutdown flag and exit.
+fn shutdown_workers(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::Release);
+    let epoch = shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    for slot in &shared.slots {
+        slot.post(epoch << 1);
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _g = self.shared.sync.lock();
-            self.shared.cond.notify_all();
-        }
+        shutdown_workers(&self.shared);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+/// Records one chunk-placement event on the dispatcher ring, if tracing.
+fn emit_enqueue(trace: &Option<TraceSet>, t0: Instant, chunk: usize, home: NodeId, strict: bool) {
+    if let Some(trace) = trace {
+        trace.dispatcher().push(
+            DISPATCHER,
+            home.index() as u32,
+            t0.elapsed().as_nanos() as u64,
+            EventKind::ChunkEnqueue {
+                chunk: chunk as u32,
+                home: home.index() as u32,
+                strict,
+            },
+        );
+    }
+}
+
 fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
-    let mut seen_epoch = 0u64;
+    let mut seen = 0u64;
     loop {
-        let run = {
-            let mut g = shared.sync.lock();
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if g.epoch != seen_epoch {
-                    seen_epoch = g.epoch;
-                    break g.run.clone();
-                }
-                shared.cond.wait(&mut g);
-            }
-        };
-        let Some(run) = run else { continue };
-        if run.active[index] {
-            work(shared, &run, index, deque);
+        seen = shared.slots[index].wait(seen);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if seen & 1 == 0 {
+            // Woken without the participate bit (broadcast mode, or a spurious
+            // epoch bump): this invocation is not ours — and crucially we must
+            // not read the arena, whose contents we were never published.
+            continue;
+        }
+        {
+            // SAFETY: the participate bit proves the dispatcher posted this
+            // epoch for us after completing its arena writes (release via the
+            // slot epoch store); the dispatcher takes no `&mut` until we pass
+            // the exit-latch decrement below.
+            let run = unsafe { &*shared.run.get() };
+            work(shared, run, index, deque);
             let node = shared
                 .topology
                 .node_of_core(ilan_topology::CoreId::new(index));
             run.emit(index, node, EventKind::LatchRelease);
-            run.exit_latch.count_down();
-            debug_assert!(deque.pop().is_none(), "worker left chunks in its deque");
         }
+        shared.exit_latch.count_down();
+        debug_assert!(deque.pop().is_none(), "worker left chunks in its deque");
     }
 }
 
-/// Executes one chunk and records its statistics.
-fn execute_chunk(run: &LoopRun, chunk_idx: usize, worker: usize, my_node: NodeId, migrated: bool) {
+/// Statistics a worker accumulates privately during one invocation and
+/// flushes exactly once at the end — the hot loop touches no shared counter,
+/// so workers never contend (or false-share) on statistics cache lines.
+#[derive(Default)]
+struct WorkerTally {
+    tasks: usize,
+    local_tasks: usize,
+    busy_ns: u64,
+    migrations: usize,
+    overhead_ns: u64,
+}
+
+impl WorkerTally {
+    /// Relaxed stores suffice: the exit-latch decrement (AcqRel) that
+    /// follows the flush is what the dispatcher's latch wait synchronises
+    /// with before reading.
+    fn flush(self, shared: &Shared, my_node: NodeId) {
+        let stats = &shared.node_stats[my_node.index()];
+        stats.tasks.fetch_add(self.tasks, Ordering::Relaxed);
+        stats
+            .local_tasks
+            .fetch_add(self.local_tasks, Ordering::Relaxed);
+        stats.busy_ns.fetch_add(self.busy_ns, Ordering::Relaxed);
+        shared
+            .migrations
+            .fetch_add(self.migrations, Ordering::Relaxed);
+        shared
+            .overhead_ns
+            .fetch_add(self.overhead_ns, Ordering::Relaxed);
+    }
+}
+
+/// Executes one chunk and records its statistics into the worker's tally.
+fn execute_chunk(
+    shared: &Shared,
+    run: &RunData,
+    chunk_idx: usize,
+    worker: usize,
+    my_node: NodeId,
+    migrated: bool,
+    tally: &mut WorkerTally,
+) {
     let chunk = &run.chunks[chunk_idx];
     run.emit(
         worker,
@@ -655,22 +969,19 @@ fn execute_chunk(run: &LoopRun, chunk_idx: usize, worker: usize, my_node: NodeId
     let elapsed = body_start.elapsed();
 
     if let Err(payload) = result {
-        let mut slot = run.panic.lock();
+        let mut slot = shared.panic.lock();
         if slot.is_none() {
             *slot = Some(payload);
         }
     }
 
-    let stats = &run.node_stats[my_node.index()];
-    stats
-        .busy_ns
-        .fetch_add(elapsed.as_nanos() as u64, Ordering::AcqRel);
-    stats.tasks.fetch_add(1, Ordering::AcqRel);
+    tally.busy_ns += elapsed.as_nanos() as u64;
+    tally.tasks += 1;
     if chunk.home == my_node {
-        stats.local_tasks.fetch_add(1, Ordering::AcqRel);
+        tally.local_tasks += 1;
     }
     if migrated {
-        run.migrations.fetch_add(1, Ordering::AcqRel);
+        tally.migrations += 1;
     }
     run.emit(
         worker,
@@ -682,21 +993,26 @@ fn execute_chunk(run: &LoopRun, chunk_idx: usize, worker: usize, my_node: NodeId
 }
 
 /// Pops or steals chunk indices until no work is reachable for this worker.
-fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
+fn work(shared: &Shared, run: &RunData, index: usize, deque: &Deque<usize>) {
     let topo = &shared.topology;
     let my_core = ilan_topology::CoreId::new(index);
     let my_node = topo.node_of_core(my_core);
-    let mut overhead_ns = 0u64;
+    let mut tally = WorkerTally::default();
 
-    if let Queues::Static(slices) = &run.queues {
+    if let QueueKind::Static = run.kind {
         // Work-sharing: drain the private slice, nothing to steal.
-        for chunk_idx in slices[index].clone() {
+        for chunk_idx in run.static_slices[index].clone() {
             let migrated = run.chunks[chunk_idx].home != my_node;
             if run.trace.is_some() {
-                run.emit(index, my_node, acquisition_kind(run, chunk_idx, my_node, None));
+                run.emit(
+                    index,
+                    my_node,
+                    acquisition_kind(run, chunk_idx, my_node, None),
+                );
             }
-            execute_chunk(run, chunk_idx, index, my_node, migrated);
+            execute_chunk(shared, run, chunk_idx, index, my_node, migrated, &mut tally);
         }
+        tally.flush(shared, my_node);
         return;
     }
 
@@ -707,7 +1023,7 @@ fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
             Some(i) => Some((i, None)),
             None => acquire(shared, run, index, my_node, topo, deque),
         };
-        overhead_ns += acquire_start.elapsed().as_nanos() as u64;
+        tally.overhead_ns += acquire_start.elapsed().as_nanos() as u64;
         let Some((chunk_idx, victim)) = acquired else {
             break;
         };
@@ -716,19 +1032,23 @@ fn work(shared: &Shared, run: &LoopRun, index: usize, deque: &Deque<usize>) {
         // deque may hold chunks that were batch-stolen from a remote node).
         let migrated = run.chunks[chunk_idx].home != my_node;
         if run.trace.is_some() {
-            run.emit(index, my_node, acquisition_kind(run, chunk_idx, my_node, victim));
+            run.emit(
+                index,
+                my_node,
+                acquisition_kind(run, chunk_idx, my_node, victim),
+            );
         }
-        execute_chunk(run, chunk_idx, index, my_node, migrated);
+        execute_chunk(shared, run, chunk_idx, index, my_node, migrated, &mut tally);
     }
 
-    run.overhead_ns.fetch_add(overhead_ns, Ordering::AcqRel);
+    tally.flush(shared, my_node);
 }
 
 /// Classifies an acquisition by its locality outcome: crossing nodes is an
 /// inter-node steal (== one migration), a same-node peer-deque grab is an
 /// intra-node steal, anything else is a local pop.
 fn acquisition_kind(
-    run: &LoopRun,
+    run: &RunData,
     chunk_idx: usize,
     my_node: NodeId,
     victim: Option<usize>,
@@ -759,15 +1079,15 @@ fn acquisition_kind(
 /// batch-stolen from a remote node).
 fn acquire(
     shared: &Shared,
-    run: &LoopRun,
+    run: &RunData,
     index: usize,
     my_node: NodeId,
     topo: &Topology,
     deque: &Deque<usize>,
 ) -> Option<(usize, Option<usize>)> {
-    match &run.queues {
-        Queues::Flat(q) => {
-            if let Some(i) = batch_steal_until(q, deque) {
+    match run.kind {
+        QueueKind::Flat => {
+            if let Some(i) = batch_steal_until(&shared.queues.flat, deque) {
                 return Some((i, None));
             }
             // Steal from peer deques anywhere (the flat baseline is
@@ -781,15 +1101,11 @@ fn acquire(
             }
             None
         }
-        Queues::Hier {
-            strict,
-            shared: shared_q,
-            policy,
-        } => {
-            if let Some(i) = batch_steal_until(&strict[my_node.index()], deque) {
+        QueueKind::Hier { policy } => {
+            if let Some(i) = batch_steal_until(&shared.queues.strict[my_node.index()], deque) {
                 return Some((i, None));
             }
-            if let Some(i) = batch_steal_until(&shared_q[my_node.index()], deque) {
+            if let Some(i) = batch_steal_until(&shared.queues.shared[my_node.index()], deque) {
                 return Some((i, None));
             }
             // Intra-node peer deques (chunks there stay on this node unless
@@ -801,40 +1117,47 @@ fn acquire(
                     }
                 }
             }
-            if *policy == StealPolicy::Full {
+            if policy == StealPolicy::Full {
                 // Own node fully idle: visit other nodes' *shared injectors*
                 // nearest-first. Never their private deques — those may hold
                 // NUMA-strict chunks.
                 for victim in topo.distances().neighbors_by_distance(my_node) {
-                    if let Some(i) = batch_steal_until(&shared_q[victim.index()], deque) {
+                    if let Some(i) = batch_steal_until(&shared.queues.shared[victim.index()], deque)
+                    {
                         return Some((i, None));
                     }
                 }
             }
             None
         }
-        Queues::Static(_) => unreachable!("static slices are drained directly in `work`"),
+        QueueKind::Static => unreachable!("static slices are drained directly in `work`"),
     }
 }
 
 /// Steals a batch from an injector into the private deque and pops one.
+/// `Retry` (a lost race in the upstream lock-free implementation) backs off
+/// with bounded exponential delay instead of raw-spinning on the contended
+/// line.
 fn batch_steal_until(q: &Injector<usize>, deque: &Deque<usize>) -> Option<usize> {
+    let mut backoff = Backoff::new();
     loop {
         match q.steal_batch_and_pop(deque) {
             Steal::Success(i) => return Some(i),
             Steal::Empty => return None,
-            Steal::Retry => std::hint::spin_loop(),
+            Steal::Retry => backoff.snooze(),
         }
     }
 }
 
-/// Steals up to half of a peer's deque into ours and pops one.
+/// Steals up to half of a peer's deque into ours and pops one, with the
+/// same bounded backoff on `Retry`.
 fn peer_steal_until(victim: &Stealer<usize>, deque: &Deque<usize>) -> Option<usize> {
+    let mut backoff = Backoff::new();
     loop {
         match victim.steal_batch_and_pop(deque) {
             Steal::Success(i) => return Some(i),
             Steal::Empty => return None,
-            Steal::Retry => std::hint::spin_loop(),
+            Steal::Retry => backoff.snooze(),
         }
     }
 }
@@ -964,6 +1287,27 @@ mod tests {
     }
 
     #[test]
+    fn body_panic_propagates_on_dispatch_path() {
+        // Same as above but past the inline threshold, exercising the
+        // worker-side catch_unwind + dispatcher resume.
+        let p = pool(presets::tiny_2x4());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            p.taskloop(0..100, 1, ExecMode::Flat, |r| {
+                if r.start == 50 {
+                    panic!("boom in chunk");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let count = AtomicUsize::new(0);
+        let report = p.taskloop(0..100, 1, ExecMode::Flat, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(report.tasks_executed(), 100);
+    }
+
+    #[test]
     fn sequential_loops_reuse_pool() {
         let p = pool(presets::tiny_2x4());
         for n in [1usize, 17, 256, 33] {
@@ -1085,5 +1429,189 @@ mod tests {
             let audit = ilan_trace::audit(&log, &expect_from(&report));
             assert!(audit.ok(), "audit violations: {audit}");
         }
+    }
+
+    #[test]
+    fn inline_fast_path_runs_small_loops_on_caller() {
+        let p = pool(presets::tiny_2x4());
+        let caller = std::thread::current().id();
+        let off_thread = AtomicBool::new(false);
+        let count = AtomicUsize::new(0);
+        let report = p.taskloop(0..32, 4, ExecMode::Flat, |r| {
+            if std::thread::current().id() != caller {
+                off_thread.store(true, Ordering::Relaxed);
+            }
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+        assert!(
+            !off_thread.load(Ordering::Relaxed),
+            "inline loop left the calling thread"
+        );
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.tasks_executed(), 8);
+        assert_eq!(report.migrations, 0);
+        assert!((report.locality_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(report.sched_overhead, Duration::ZERO);
+    }
+
+    #[test]
+    fn inline_threshold_boundary() {
+        let p = pool(presets::tiny_2x4());
+        // At the threshold: inline (single caller thread).
+        let at = p.taskloop(0..DEFAULT_INLINE_THRESHOLD, 4, ExecMode::Flat, |_| {});
+        assert_eq!(at.threads, 1);
+        // One past it: full dispatch (all workers).
+        let past = p.taskloop(0..DEFAULT_INLINE_THRESHOLD + 1, 4, ExecMode::Flat, |_| {});
+        assert_eq!(past.threads, 8);
+    }
+
+    #[test]
+    fn single_chunk_loops_inline_regardless_of_length() {
+        let p = pool(presets::tiny_2x4());
+        let count = AtomicUsize::new(0);
+        let report = p.taskloop(0..10_000, 10_000, ExecMode::Flat, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.tasks_executed(), 1);
+    }
+
+    #[test]
+    fn inline_threshold_zero_dispatches_tiny_loops() {
+        let p = ThreadPool::new(
+            PoolConfig::new(presets::tiny_2x4())
+                .pin(PinMode::Never)
+                .inline_threshold(0),
+        )
+        .unwrap();
+        let report = p.taskloop(0..8, 1, ExecMode::Flat, |_| {});
+        assert_eq!(report.threads, 8);
+        assert_eq!(report.tasks_executed(), 8);
+    }
+
+    #[test]
+    fn inline_hierarchical_attributes_to_mask_nodes() {
+        let p = pool(presets::tiny_2x4());
+        let mode = ExecMode::Hierarchical {
+            mask: NodeMask::first_n(1),
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let report = p.taskloop(0..16, 4, mode, |_| {});
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.nodes[0].tasks, 4);
+        assert_eq!(report.nodes[1].tasks, 0);
+        assert_eq!(report.migrations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty mask")]
+    fn inline_path_still_validates_mask() {
+        let p = pool(presets::tiny_2x4());
+        let mode = ExecMode::Hierarchical {
+            mask: NodeMask::EMPTY,
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        p.taskloop(0..4, 1, mode, |_| {});
+    }
+
+    #[test]
+    fn traced_small_loop_takes_dispatch_path() {
+        let p = pool(presets::tiny_2x4());
+        let (report, log) = p.taskloop_traced(0..8, 1, ExecMode::Flat, |r| {
+            std::hint::black_box(r.sum::<usize>());
+        });
+        assert_eq!(report.threads, 8, "traced loops must not inline");
+        let audit = ilan_trace::audit(&log, &expect_from(&report));
+        assert!(audit.ok(), "audit violations: {audit}");
+        assert_eq!(audit.chunks, 8);
+    }
+
+    #[test]
+    fn broadcast_wake_mode_is_equivalent() {
+        let p = ThreadPool::new(
+            PoolConfig::new(presets::tiny_2x4())
+                .pin(PinMode::Never)
+                .wake(WakeMode::Broadcast),
+        )
+        .unwrap();
+        let flags: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let report = p.taskloop(0..500, 5, ExecMode::Flat, |r| {
+            for i in r {
+                flags[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+        assert_eq!(report.tasks_executed(), 100);
+        assert_eq!(report.threads, 8);
+        // A masked loop under broadcast: non-participants wake but stay out.
+        let count = AtomicUsize::new(0);
+        let mode = ExecMode::Hierarchical {
+            mask: NodeMask::first_n(1),
+            threads: 2,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let report = p.taskloop(0..100, 5, mode, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.nodes[1].tasks, 0);
+    }
+
+    #[test]
+    fn taskloop_into_reuses_caller_report() {
+        let p = pool(presets::tiny_2x4());
+        let mut report = LoopReport::default();
+        let count = AtomicUsize::new(0);
+        p.taskloop_into(
+            0..256,
+            Grain::Size(4),
+            ExecMode::Flat,
+            |r| {
+                count.fetch_add(r.len(), Ordering::Relaxed);
+            },
+            &mut report,
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 256);
+        assert_eq!(report.tasks_executed(), 64);
+        assert_eq!(report.threads, 8);
+        // Stale contents are fully overwritten by the next invocation.
+        p.taskloop_into(
+            0..100,
+            Grain::Size(5),
+            ExecMode::WorkSharing,
+            |_| {},
+            &mut report,
+        );
+        assert_eq!(report.tasks_executed(), 20);
+        assert_eq!(report.migrations, 0);
+    }
+
+    #[test]
+    fn traced_runs_reuse_rings_across_invocations() {
+        let p = pool(presets::tiny_2x4());
+        let mode = ExecMode::Hierarchical {
+            mask: p.topology().all_nodes(),
+            threads: 0,
+            strict_fraction: 1.0,
+            policy: StealPolicy::Strict,
+        };
+        let (first_report, first_log) = p.taskloop_traced(0..256, 4, mode.clone(), |_| {});
+        for _ in 0..3 {
+            let (report, log) = p.taskloop_traced(0..256, 4, mode.clone(), |_| {});
+            let audit = ilan_trace::audit(&log, &expect_from(&report));
+            assert!(audit.ok(), "audit violations: {audit}");
+            assert_eq!(audit.chunks, 64);
+        }
+        // The first log is an owned snapshot, unaffected by ring reuse.
+        let audit = ilan_trace::audit(&first_log, &expect_from(&first_report));
+        assert!(audit.ok(), "first log corrupted by reuse: {audit}");
     }
 }

@@ -82,6 +82,20 @@ impl EventRing {
         self.dropped.load(Ordering::Acquire)
     }
 
+    /// Slots the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Clears the ring for reuse by a later invocation. Requires `&mut`:
+    /// the caller proves no producer or reader is concurrently active, so
+    /// stale slot contents can simply be forgotten behind `committed = 0`.
+    pub fn reset(&mut self) {
+        self.committed.store(0, Ordering::Release);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.next_seq.store(0, Ordering::Relaxed);
+    }
+
     /// Copies out all committed events, in emission order.
     pub fn snapshot(&self) -> Vec<Event> {
         let n = self.committed.load(Ordering::Acquire);
@@ -120,6 +134,31 @@ impl TraceSet {
     /// The dispatching thread's ring.
     pub fn dispatcher(&self) -> &EventRing {
         &self.dispatcher
+    }
+
+    /// Number of worker rings.
+    pub fn num_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Capacity of each worker ring.
+    pub fn worker_capacity(&self) -> usize {
+        self.rings.first().map_or(0, EventRing::capacity)
+    }
+
+    /// Capacity of the dispatcher ring.
+    pub fn dispatcher_capacity(&self) -> usize {
+        self.dispatcher.capacity()
+    }
+
+    /// Clears every ring for reuse by a later traced invocation, avoiding
+    /// the per-invocation ring allocations the runtime used to pay.
+    /// Requires `&mut`: no worker may be emitting concurrently.
+    pub fn reset(&mut self) {
+        for r in &mut self.rings {
+            r.reset();
+        }
+        self.dispatcher.reset();
     }
 
     /// Merges every ring's committed events into a time-ordered log.
@@ -209,6 +248,38 @@ mod tests {
             assert_eq!(e.seq, i as u64);
             assert_eq!(e.kind, EventKind::ChunkStart { chunk: i as u32 });
         }
+    }
+
+    #[test]
+    fn ring_reset_restarts_sequences() {
+        let mut ring = EventRing::with_capacity(2);
+        for i in 0..5u32 {
+            ring.push(0, 0, 0, EventKind::ChunkStart { chunk: i });
+        }
+        assert_eq!(ring.dropped(), 3);
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        ring.push(0, 0, 0, EventKind::ChunkStart { chunk: 9 });
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 0, "sequence numbers restart after reset");
+        assert_eq!(ring.capacity(), 2);
+    }
+
+    #[test]
+    fn trace_set_reset_clears_all_rings() {
+        let mut set = TraceSet::new(2, 8, 4);
+        set.ring(0).push(0, 0, 0, EventKind::LatchRelease);
+        set.ring(1).push(1, 0, 0, EventKind::LatchRelease);
+        set.dispatcher()
+            .push(DISPATCHER, 0, 0, EventKind::LatchRelease);
+        assert_eq!(set.collect(1).len(), 3);
+        set.reset();
+        assert_eq!(set.collect(1).len(), 0);
+        assert_eq!(set.num_rings(), 2);
+        assert_eq!(set.worker_capacity(), 8);
+        assert_eq!(set.dispatcher_capacity(), 4);
     }
 
     #[test]

@@ -5,12 +5,48 @@
 //! lock-free buffers. Since a mutexed queue can always decide emptiness,
 //! this implementation never returns [`Steal::Retry`] — callers that loop on
 //! `Retry` (the documented idiom) behave identically.
+//!
+//! Batch steals stage the moved tasks in a per-queue scratch buffer that is
+//! reused across calls (capacity is retained), so a warm steal performs no
+//! heap allocation — upstream moves slots between fixed ring buffers and
+//! allocates nothing either. The scratch is locked for the whole transfer;
+//! since it belongs to the *victim* queue and destination queues are locked
+//! only after, no lock cycle exists.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Upstream steals at most this many tasks in one batch.
 const MAX_BATCH: usize = 32;
+
+/// Moves up to `take` tasks out of `src` (first into the return value, the
+/// rest into `dest`), staging through `scratch` without allocating when the
+/// scratch has warm capacity.
+fn transfer<T>(
+    src: &Mutex<VecDeque<T>>,
+    scratch: &Mutex<Vec<T>>,
+    dest: &Mutex<VecDeque<T>>,
+    limit: impl FnOnce(usize) -> usize,
+) -> Steal<T> {
+    let mut buf = locked_vec(scratch);
+    {
+        let mut src = locked(src);
+        let take = limit(src.len());
+        buf.extend(src.drain(..take));
+    }
+    let mut it = buf.drain(..);
+    match it.next() {
+        None => Steal::Empty,
+        Some(first) => {
+            locked(dest).extend(it);
+            Steal::Success(first)
+        }
+    }
+}
+
+fn locked_vec<T>(q: &Mutex<Vec<T>>) -> std::sync::MutexGuard<'_, Vec<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Outcome of a steal attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,17 +79,26 @@ fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
     q.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// One queue's shared state: the tasks plus the reusable batch scratch.
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    scratch: Mutex<Vec<T>>,
+}
+
 /// A worker's own end of a work queue. Only the owner pushes and pops;
 /// everyone else goes through a [`Stealer`] handle.
 pub struct Worker<T> {
-    queue: Arc<Mutex<VecDeque<T>>>,
+    inner: Arc<Inner<T>>,
 }
 
 impl<T> Worker<T> {
     /// Creates a FIFO worker queue.
     pub fn new_fifo() -> Worker<T> {
         Worker {
-            queue: Arc::new(Mutex::new(VecDeque::new())),
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                scratch: Mutex::new(Vec::new()),
+            }),
         }
     }
 
@@ -67,40 +112,40 @@ impl<T> Worker<T> {
     /// Creates a [`Stealer`] handle onto this queue.
     pub fn stealer(&self) -> Stealer<T> {
         Stealer {
-            queue: Arc::clone(&self.queue),
+            inner: Arc::clone(&self.inner),
         }
     }
 
     /// Pushes a task onto the queue.
     pub fn push(&self, task: T) {
-        locked(&self.queue).push_back(task);
+        locked(&self.inner.queue).push_back(task);
     }
 
     /// Pops the next task, if any.
     pub fn pop(&self) -> Option<T> {
-        locked(&self.queue).pop_front()
+        locked(&self.inner.queue).pop_front()
     }
 
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
-        locked(&self.queue).is_empty()
+        locked(&self.inner.queue).is_empty()
     }
 
     /// Number of tasks currently queued.
     pub fn len(&self) -> usize {
-        locked(&self.queue).len()
+        locked(&self.inner.queue).len()
     }
 }
 
 /// A handle for stealing from another worker's queue.
 pub struct Stealer<T> {
-    queue: Arc<Mutex<VecDeque<T>>>,
+    inner: Arc<Inner<T>>,
 }
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Self {
         Stealer {
-            queue: Arc::clone(&self.queue),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
@@ -108,7 +153,7 @@ impl<T> Clone for Stealer<T> {
 impl<T> Stealer<T> {
     /// Steals one task.
     pub fn steal(&self) -> Steal<T> {
-        match locked(&self.queue).pop_front() {
+        match locked(&self.inner.queue).pop_front() {
             Some(t) => Steal::Success(t),
             None => Steal::Empty,
         }
@@ -117,26 +162,19 @@ impl<T> Stealer<T> {
     /// Steals up to half of the victim's tasks (capped at the upstream batch
     /// limit), moving all but the first into `dest` and returning the first.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let batch = {
-            let mut src = locked(&self.queue);
-            let take = src.len().div_ceil(2).min(MAX_BATCH + 1);
-            src.drain(..take).collect::<Vec<T>>()
-        };
-        let mut it = batch.into_iter();
-        match it.next() {
-            None => Steal::Empty,
-            Some(first) => {
-                let mut dst = locked(&dest.queue);
-                dst.extend(it);
-                Steal::Success(first)
-            }
-        }
+        transfer(
+            &self.inner.queue,
+            &self.inner.scratch,
+            &dest.inner.queue,
+            |n| n.div_ceil(2).min(MAX_BATCH + 1),
+        )
     }
 }
 
 /// A global FIFO queue any thread may push to and steal from.
 pub struct Injector<T> {
     queue: Mutex<VecDeque<T>>,
+    scratch: Mutex<Vec<T>>,
 }
 
 impl<T> Default for Injector<T> {
@@ -150,6 +188,7 @@ impl<T> Injector<T> {
     pub fn new() -> Injector<T> {
         Injector {
             queue: Mutex::new(VecDeque::new()),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -166,23 +205,15 @@ impl<T> Injector<T> {
         }
     }
 
-    /// Steals a batch of tasks (up to the upstream batch limit), moving all
-    /// but the first into `dest` and returning the first.
+    /// Steals up to half of the queued tasks (capped at the upstream batch
+    /// limit, like upstream's `Injector`), moving all but the first into
+    /// `dest` and returning the first. Taking only half matters for
+    /// schedulers layered on top: the remainder stays globally visible for
+    /// other consumers instead of being hoarded in one worker's deque.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-        let batch = {
-            let mut src = locked(&self.queue);
-            let take = src.len().min(MAX_BATCH + 1);
-            src.drain(..take).collect::<Vec<T>>()
-        };
-        let mut it = batch.into_iter();
-        match it.next() {
-            None => Steal::Empty,
-            Some(first) => {
-                let mut dst = locked(&dest.queue);
-                dst.extend(it);
-                Steal::Success(first)
-            }
-        }
+        transfer(&self.queue, &self.scratch, &dest.inner.queue, |n| {
+            n.div_ceil(2).min(MAX_BATCH + 1)
+        })
     }
 
     /// Whether the injector is currently empty.
@@ -211,20 +242,22 @@ mod tests {
     }
 
     #[test]
-    fn injector_batch_steal_moves_rest_to_dest() {
+    fn injector_batch_steal_takes_half() {
         let inj = Injector::new();
         for i in 0..10 {
             inj.push(i);
         }
         let w = Worker::new_fifo();
         assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
-        // Everything else landed in the destination deque, in order.
+        // Half the batch landed in the destination deque, in order; the
+        // rest stayed globally stealable.
         let mut got = Vec::new();
         while let Some(i) = w.pop() {
             got.push(i);
         }
-        assert_eq!(got, (1..10).collect::<Vec<_>>());
-        assert!(inj.steal_batch_and_pop(&w).is_empty());
+        assert_eq!(got, (1..5).collect::<Vec<_>>());
+        assert_eq!(inj.len(), 5);
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(5));
     }
 
     #[test]
@@ -234,7 +267,10 @@ mod tests {
             victim.push(i);
         }
         let thief = Worker::new_fifo();
-        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(
+            victim.stealer().steal_batch_and_pop(&thief),
+            Steal::Success(0)
+        );
         assert_eq!(thief.len(), 3); // half of 8, minus the popped one
         assert_eq!(victim.len(), 4);
     }
