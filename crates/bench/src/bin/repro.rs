@@ -9,7 +9,9 @@
 //! Artifacts: `fig2` (speedup), `fig3` (thread counts), `fig4`
 //! (no-moldability ablation), `fig5` (scheduling overhead), `fig6`
 //! (work-sharing comparison), `table1` (variance), `colo` (multi-tenant
-//! co-scheduling: one job stream under three sharing policies), `all`.
+//! co-scheduling: one job stream under three sharing policies), `chaos`
+//! (fault-injection conformance: the seeded chaos sweep, the native-vs-sim
+//! differential placement oracle, and a faulty serving run), `all`.
 //!
 //! Options: `--runs N` (default 30, the paper's repetition count),
 //! `--quick` (scaled-down workloads for a fast smoke pass),
@@ -35,7 +37,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|trace|all> \
+    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|trace|chaos|all> \
      [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]] \
      [--jobs N] [--seed S]"
 }
@@ -113,6 +115,7 @@ fn main() -> ExitCode {
         "bandwidth",
         "colo",
         "trace",
+        "chaos",
         "all",
     ];
     if !valid.contains(&args.artifact.as_str()) {
@@ -138,11 +141,36 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    if args.artifact == "chaos" {
+        // Fault-injection conformance: runs on the tiny functional topology
+        // regardless of --topology (chaos plans target the native pool).
+        // --runs controls the number of seeded plans; --seed the base seed.
+        let plans = if args.scale == Scale::Quick {
+            8
+        } else {
+            args.runs.max(8)
+        };
+        let summary = ilan_bench::run_chaos(&ilan_bench::ChaosConfig::new(args.seed, plans));
+        println!("{summary}");
+        println!();
+        println!("differential placement oracle (native pool vs colocation simulator):");
+        for s in args.seed..args.seed + 4 {
+            println!("  seed={s}: {}", ilan_bench::differential_placement(s));
+        }
+        println!();
+        println!("{}", ilan_bench::run_server_chaos(args.seed));
+        if let Some(dir) = &args.out {
+            std::fs::create_dir_all(dir).expect("create --out dir");
+            let path = dir.join("chaos.txt");
+            std::fs::write(&path, format!("{summary}\n")).expect("write chaos summary");
+            eprintln!("wrote {}", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
     if args.artifact == "colo" {
         // Multi-tenant co-scheduling: one seeded job stream, three sharing
         // policies, served by ilan-server on the colocation simulator.
-        let mut experiment =
-            ilan_server::ColoExperiment::new(&args.topology, args.jobs, args.seed);
+        let mut experiment = ilan_server::ColoExperiment::new(&args.topology, args.jobs, args.seed);
         experiment.scale = args.scale;
         print!("{}", ilan_server::compare_policies(&experiment));
         return ExitCode::SUCCESS;
@@ -182,7 +210,15 @@ fn main() -> ExitCode {
     };
 
     if args.artifact == "all" {
-        for name in ["fig2", "fig3", "fig4", "table1", "fig5", "fig6", "bandwidth"] {
+        for name in [
+            "fig2",
+            "fig3",
+            "fig4",
+            "table1",
+            "fig5",
+            "fig6",
+            "bandwidth",
+        ] {
             println!("{}", render(name));
         }
     } else {

@@ -38,7 +38,10 @@ pub fn select_mask_within(
     table: Option<&SiteTable>,
     threads: usize,
 ) -> NodeMask {
-    assert!(!allowed.is_empty(), "partition must contain at least one node");
+    assert!(
+        !allowed.is_empty(),
+        "partition must contain at least one node"
+    );
     let want = threads
         .div_ceil(topology.cores_per_node())
         .clamp(1, allowed.count());
@@ -123,7 +126,10 @@ mod tests {
         let allowed = NodeMask::from_bits(0b1111_0000);
         for threads in [1, 8, 16, 24, 32, 64] {
             let m = select_mask_within(&t, allowed, None, threads);
-            assert!(m.is_subset(allowed), "threads={threads}: {m:?} escapes partition");
+            assert!(
+                m.is_subset(allowed),
+                "threads={threads}: {m:?} escapes partition"
+            );
             assert!(!m.is_empty());
         }
         // Full partition demand (or more) returns the whole partition.
@@ -147,7 +153,10 @@ mod tests {
         let allowed = NodeMask::from_bits(0b1111_0000);
         let m = select_mask_within(&t, allowed, ptt.site(site), 8);
         assert_eq!(m.count(), 1);
-        assert!(m.is_subset(allowed), "foreign fastest node must not leak in");
+        assert!(
+            m.is_subset(allowed),
+            "foreign fastest node must not leak in"
+        );
     }
 
     #[test]

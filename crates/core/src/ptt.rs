@@ -314,9 +314,8 @@ impl Ptt {
                     current = Some(id);
                 }
                 "config" => {
-                    let site = current.ok_or_else(|| {
-                        format!("line {line}: `config` before any `site` line")
-                    })?;
+                    let site = current
+                        .ok_or_else(|| format!("line {line}: `config` before any `site` line"))?;
                     if toks.len() != 6 {
                         return Err(format!("line {line}: malformed config line"));
                     }
@@ -330,15 +329,17 @@ impl Ptt {
                         }
                     };
                     let bits_str = field(toks[3], "mask", line)?;
-                    let bits = u64::from_str_radix(
-                        bits_str.strip_prefix("0x").unwrap_or(bits_str),
-                        16,
-                    )
-                    .map_err(|_| format!("line {line}: invalid mask `{bits_str}`"))?;
+                    let bits =
+                        u64::from_str_radix(bits_str.strip_prefix("0x").unwrap_or(bits_str), 16)
+                            .map_err(|_| format!("line {line}: invalid mask `{bits_str}`"))?;
                     let count: u64 = parse(field(toks[4], "count", line)?, "count", line)?;
                     let mean: f64 = parse(field(toks[5], "mean", line)?, "mean", line)?;
                     let table = ptt.sites.get_mut(&site).expect("site exists");
-                    if table.entries.iter().any(|e| e.threads == threads && e.steal == steal) {
+                    if table
+                        .entries
+                        .iter()
+                        .any(|e| e.threads == threads && e.steal == steal)
+                    {
                         return Err(format!(
                             "line {line}: duplicate config ({threads}, {steal:?})"
                         ));
@@ -497,10 +498,28 @@ mod tests {
         let a = SiteId::new(0);
         let b = SiteId::new(7);
         let mask = NodeMask::from_bits(0b1010);
-        ptt.record(a, 64, mask, StealPolicy::Strict, &report(1e6 / 3.0, &[0.5, 0.9]));
-        ptt.record(a, 32, mask, StealPolicy::Strict, &report(0.7e6, &[0.6, 0.0]));
+        ptt.record(
+            a,
+            64,
+            mask,
+            StealPolicy::Strict,
+            &report(1e6 / 3.0, &[0.5, 0.9]),
+        );
+        ptt.record(
+            a,
+            32,
+            mask,
+            StealPolicy::Strict,
+            &report(0.7e6, &[0.6, 0.0]),
+        );
         ptt.record(a, 32, mask, StealPolicy::Full, &report(0.65e6, &[]));
-        ptt.record(b, 8, NodeMask::first_n(1), StealPolicy::Strict, &report(5e5, &[0.4]));
+        ptt.record(
+            b,
+            8,
+            NodeMask::first_n(1),
+            StealPolicy::Strict,
+            &report(5e5, &[0.4]),
+        );
 
         let text = ptt.save_text();
         let loaded = Ptt::load_text(&text).expect("round trip");
@@ -537,8 +556,10 @@ mod tests {
             "config before site"
         );
         assert!(
-            Ptt::load_text("ptt v1\nsite 0 invocations=1\nconfig threads=8 steal=lazy mask=0x1 count=1 mean=1")
-                .is_err(),
+            Ptt::load_text(
+                "ptt v1\nsite 0 invocations=1\nconfig threads=8 steal=lazy mask=0x1 count=1 mean=1"
+            )
+            .is_err(),
             "unknown steal policy"
         );
         assert!(

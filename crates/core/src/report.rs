@@ -147,6 +147,7 @@ mod tests {
             }],
             migrations: 0,
             threads: 4,
+            degraded: false,
         };
         let r = TaskloopReport::from(&n);
         assert_eq!(r.time_ns, 10_000.0);

@@ -199,8 +199,12 @@ impl IlanScheduler {
         let mut s = IlanScheduler::new(params);
         s.ptt = ptt;
         for site in s.ptt.site_ids() {
-            let Some(table) = s.ptt.site(site) else { continue };
-            let Some(best) = table.fastest() else { continue };
+            let Some(table) = s.ptt.site(site) else {
+                continue;
+            };
+            let Some(best) = table.fastest() else {
+                continue;
+            };
             let threads = s.quantize(best.threads.min(s.m_max()));
             let steal = best.steal;
             let strict_best_ns = best.time.mean();
@@ -397,11 +401,7 @@ impl Policy for IlanScheduler {
             } => (*threads, *mask, *steal),
             // Reports for non-hierarchical decisions (not produced by this
             // policy) are still recorded against the full partition.
-            _ => (
-                self.m_max(),
-                self.params.allowed_mask,
-                StealPolicy::Strict,
-            ),
+            _ => (self.m_max(), self.params.allowed_mask, StealPolicy::Strict),
         };
         self.ptt.record(site, threads, mask, steal, report);
         let state = self
@@ -674,8 +674,7 @@ mod tests {
     fn restricted_scheduler_stays_in_partition() {
         let topo = presets::epyc_9354_2s();
         let socket1 = ilan_topology::NodeMask::from_bits(0b1111_0000);
-        let mut s =
-            IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
+        let mut s = IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
         // Drive it through a full search with synthetic times; every decision
         // must stay inside the partition.
         for time in [100.0, 60.0, 40.0, 45.0, 44.0, 43.0, 42.0] {
@@ -690,8 +689,7 @@ mod tests {
             s.record(SITE, &d, &TaskloopReport::synthetic(time, threads));
         }
         // Priming starts at the partition size, not the machine size.
-        let mut s2 =
-            IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
+        let mut s2 = IlanScheduler::new(IlanParams::for_topology(&topo).restrict_to(socket1));
         assert_eq!(s2.decide(SiteId::new(5)).threads(), Some(32));
     }
 

@@ -47,10 +47,8 @@ fn hierarchical_decision_matrix() {
                         steal,
                         strict_fraction,
                     };
-                    let mut machine = SimMachine::new(
-                        MachineParams::for_topology(&topo).noiseless(),
-                        1,
-                    );
+                    let mut machine =
+                        SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
                     let mut policy = FixedPolicy::new(decision.clone());
                     let (d, report) =
                         run_sim_invocation(&mut machine, &mut policy, SiteId::new(0), &specs);

@@ -1,7 +1,15 @@
-//! Property test: PTT text persistence is lossless for the queries the
-//! scheduler asks — for arbitrary recorded histories, save → load preserves
-//! every site's `fastest()`, `second_fastest()` and `invocations()` (and,
-//! since floats round-trip exactly, the means themselves).
+//! Property tests over PTT text persistence.
+//!
+//! Lossless round trip: for arbitrary recorded histories, save → load
+//! preserves every site's `fastest()`, `second_fastest()` and
+//! `invocations()` (and, since floats round-trip exactly, the means
+//! themselves).
+//!
+//! Corruption safety: for arbitrary corruptions of saved text — the fault
+//! layer's deterministic corruptor, truncation, appended junk — `load_text`
+//! returns `Ok` or `Err` but never panics, and the lenient-recovery path
+//! (`Err` → fresh cold-start table) always yields a usable PTT. This is the
+//! invariant the server's warm-start store leans on.
 
 use ilan::ptt::{ConfigEntry, Ptt};
 use ilan::{SiteId, StealPolicy, TaskloopReport};
@@ -64,7 +72,15 @@ fn build(recs: &[Rec]) -> Ptt {
 }
 
 fn entry_key(e: Option<&ConfigEntry>) -> Option<(usize, StealPolicy, u64, f64, u64)> {
-    e.map(|e| (e.threads, e.steal, e.mask.bits(), e.time.mean(), e.time.count()))
+    e.map(|e| {
+        (
+            e.threads,
+            e.steal,
+            e.mask.bits(),
+            e.time.mean(),
+            e.time.count(),
+        )
+    })
 }
 
 proptest! {
@@ -107,5 +123,54 @@ proptest! {
         // Saving the loaded table reproduces the text exactly (the format
         // is canonical, so persistence is idempotent).
         prop_assert_eq!(text, loaded.save_text());
+    }
+
+    #[test]
+    fn fault_corrupted_text_recovers_to_a_clean_cold_start(
+        recs in proptest::collection::vec(rec_strategy(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let text = build(&recs).save_text();
+        let plan = FaultPlan::new(
+            seed,
+            8,
+            2,
+            FaultConfig { ptt_corruption_denom: 1, ..FaultConfig::none() },
+        );
+        let corrupted = plan.corrupt_text(&text);
+        // Loading must never panic; the server's recovery path turns a
+        // parse failure into a cold start, which must behave like new.
+        let recovered = Ptt::load_text(&corrupted).ok().unwrap_or_default();
+        for site in recovered.site_ids() {
+            let table = recovered.site(site).expect("listed site exists");
+            let _ = table.fastest();
+            let _ = table.second_fastest();
+            let _ = recovered.invocations(site);
+        }
+        // Corruption is deterministic: the same plan mangles identically.
+        prop_assert_eq!(corrupted, plan.corrupt_text(&text));
+    }
+
+    #[test]
+    fn truncated_or_junk_suffixed_text_never_panics(
+        recs in proptest::collection::vec(rec_strategy(), 1..20),
+        cut in 0.0f64..1.0,
+        junk_bytes in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let text = build(&recs).save_text();
+        let target = (text.len() as f64 * cut) as usize;
+        let cut_at = (0..=target)
+            .rev()
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap_or(0);
+        let junk = String::from_utf8_lossy(&junk_bytes);
+        let mangled = format!("{}{junk}", &text[..cut_at]);
+        if let Ok(loaded) = Ptt::load_text(&mangled) {
+            // If the mangled text still parses, the table must be usable.
+            for site in loaded.site_ids() {
+                let _ = loaded.site(site).expect("listed site exists").fastest();
+            }
+        }
     }
 }

@@ -31,6 +31,19 @@
 //!
 //! Determinism: lanes are iterated in index order at every event, so a given
 //! machine seed and call sequence replays exactly.
+//!
+//! **Fault injection** — [`set_fault_plan`](ColoMachine::set_fault_plan)
+//! applies an [`ilan_faults::FaultPlan`] to every loop started afterwards,
+//! modelling the fault classes that make sense in a fluid-rate simulation:
+//! temporary worker stalls (the worker sits out of the acquire loop until
+//! its stall expires) and slow nodes (every chunk executing there is
+//! stretched by the plan's multiplier). Wakeup drops, steal refusals and
+//! permanent stalls are native-pool mechanics with no fluid analogue;
+//! permanent stalls are rejected outright. Use
+//! [`FaultConfig::sim_safe`](ilan_faults::FaultConfig::sim_safe) to draw
+//! plans restricted to the shared classes — the differential oracle runs the
+//! native pool and this machine under the *same* plan and compares
+//! placements.
 
 use crate::exec::{begin_chunk, make_workers, seek, PoolSet, Worker, WorkerState, EPS};
 use crate::outcome::{LoopOutcome, NodeOutcome};
@@ -38,6 +51,7 @@ use crate::params::MachineParams;
 use crate::plan::PlacementPlan;
 use crate::rates::{chunk_duration, CongestionField};
 use crate::task::TaskSpec;
+use ilan_faults::FaultPlan;
 use ilan_topology::{CpuSet, NodeId, Topology};
 use ilan_trace::{EventKind, Recorder};
 use rand::rngs::StdRng;
@@ -91,6 +105,8 @@ pub struct ColoMachine {
     finished: VecDeque<(usize, LoopOutcome)>,
     /// Whether loops started from now on record scheduler events.
     tracing: bool,
+    /// Fault plan applied to loops started from now on.
+    faults: Option<FaultPlan>,
 }
 
 impl ColoMachine {
@@ -118,6 +134,7 @@ impl ColoMachine {
             core_load: vec![0; num_cores],
             finished: VecDeque::new(),
             tracing: false,
+            faults: None,
         }
     }
 
@@ -126,6 +143,30 @@ impl ColoMachine {
     /// [`LoopOutcome::events`]. Loops already in flight are unaffected.
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+    }
+
+    /// Applies `plan` to the machine: temporary worker stalls (by
+    /// lane-worker index, anchored at each subsequently started loop's
+    /// execution start) and slow-node multipliers (machine-level — a slow
+    /// memory node stretches every chunk executing there, including loops
+    /// already in flight). See the module docs for the modelled subset.
+    ///
+    /// # Panics
+    /// Panics if the plan contains a permanent stall — a fluid lane with a
+    /// permanently absent worker either completes on its peers or deadlocks
+    /// on strict work; the graceful-degradation story (watchdog, dispatcher
+    /// drain) belongs to the native pool, not the simulator.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !plan.has_permanent_stall(),
+            "permanent stalls are out of simulation scope (draw plans with FaultConfig::sim_safe)"
+        );
+        self.faults = Some(plan);
+    }
+
+    /// The fault plan applied to newly started loops, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The machine's topology.
@@ -183,7 +224,7 @@ impl ColoMachine {
             "lead time must be finite and >= 0"
         );
         let topo = &self.params.topology;
-        let (workers, node_worker_count) = make_workers(topo, active);
+        let (mut workers, node_worker_count) = make_workers(topo, active);
         let perm_seed: u64 = rand::Rng::random(&mut self.rng);
         let mut recorder = self.tracing.then(Recorder::new);
         let pools = PoolSet::build(
@@ -197,6 +238,16 @@ impl ColoMachine {
             self.now_ns,
         );
         let dispatch = pools.dispatch_ns(&self.params, tasks.len());
+        if let Some(plan) = &self.faults {
+            // Stalls are anchored to the moment workers would first acquire
+            // work: submission plus the serial lead plus dispatch.
+            let exec_start = self.now_ns + lead_ns + dispatch;
+            for (i, w) in workers.iter_mut().enumerate() {
+                if let Some(stall) = plan.stall_of(i as u32) {
+                    w.stall_until_ns = exec_start + stall.delay_ns as f64;
+                }
+            }
+        }
         self.lanes[lane] = Some(LaneRun {
             tasks,
             pools,
@@ -257,6 +308,11 @@ impl ColoMachine {
                 loop {
                     let mut any = false;
                     for i in 0..lane.workers.len() {
+                        if lane.workers[i].stall_until_ns > self.now_ns + EPS {
+                            // Stalled: sits out of the acquire loop; the
+                            // event scan below bounds dt by the expiry.
+                            continue;
+                        }
                         if matches!(lane.workers[i].state, WorkerState::Idle) {
                             seek(
                                 &mut lane.pools,
@@ -305,8 +361,7 @@ impl ColoMachine {
                         }
                     }
                     let threads = lane.workers.len();
-                    let barrier =
-                        self.params.barrier_base_ns * (threads.max(2) as f64).log2();
+                    let barrier = self.params.barrier_base_ns * (threads.max(2) as f64).log2();
                     lane.overhead_ns += barrier;
                     lane.barrier_remaining_ns = Some(barrier);
                 }
@@ -328,6 +383,10 @@ impl ColoMachine {
                     continue;
                 }
                 for w in &lane.workers {
+                    if w.stall_until_ns > self.now_ns + EPS {
+                        dt = dt.min(w.stall_until_ns - self.now_ns);
+                        continue;
+                    }
                     let t = match &w.state {
                         WorkerState::Overhead { remaining_ns, .. } => *remaining_ns,
                         WorkerState::Running {
@@ -409,13 +468,18 @@ impl ColoMachine {
                     let spec = &lane.tasks[*task];
                     let penalty = self.field.penalty(topo, wnode, traffic);
                     let occ = self.core_load[core].max(1) as f64;
+                    let slowdown = self
+                        .faults
+                        .as_ref()
+                        .map_or(1.0, |p| p.node_slowdown(wnode as u32));
                     let duration = chunk_duration(
                         &self.params,
                         spec,
                         NodeId::new(wnode),
                         self.freqs[core],
                         penalty,
-                    ) * occ;
+                    ) * occ
+                        * slowdown;
                     *rate = if duration > 0.0 {
                         1.0 / duration
                     } else {
@@ -502,7 +566,9 @@ impl ColoMachine {
                                     w.core.index() as u32,
                                     w.node as u32,
                                     self.now_ns as u64,
-                                    EventKind::ChunkEnd { chunk: *task as u32 },
+                                    EventKind::ChunkEnd {
+                                        chunk: *task as u32,
+                                    },
                                 );
                             }
                             let node = &mut lane.nodes_out[w.node];
@@ -599,7 +665,9 @@ mod tests {
         let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
         let lane = colo.add_lane();
         colo.start_loop(lane, &cores, &plan, tasks, 0.0);
-        let (done, out) = colo.run_until_next_completion().expect("one loop in flight");
+        let (done, out) = colo
+            .run_until_next_completion()
+            .expect("one loop in flight");
         assert_eq!(done, lane);
         assert!(
             (out.makespan_ns - reference.makespan_ns).abs() < 1e-6,
@@ -629,15 +697,13 @@ mod tests {
         let b_tasks = || chunked_tasks(64, 0, 500.0, 800_000.0);
 
         let t_alone = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
             colo.start_loop(a, &cores0, &node_plan(64, 0), a_tasks(), 0.0);
             colo.run_until_next_completion().unwrap().1.makespan_ns
         };
         let t_shared = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
             let b = colo.add_lane();
             colo.start_loop(a, &cores0, &node_plan(64, 0), a_tasks(), 0.0);
@@ -665,19 +731,35 @@ mod tests {
         let cores1 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(1)));
 
         let t_alone = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
-            colo.start_loop(a, &cores0, &node_plan(64, 0), chunked_tasks(64, 0, 500.0, 800_000.0), 0.0);
+            colo.start_loop(
+                a,
+                &cores0,
+                &node_plan(64, 0),
+                chunked_tasks(64, 0, 500.0, 800_000.0),
+                0.0,
+            );
             colo.run_until_next_completion().unwrap().1.makespan_ns
         };
         let t_partitioned = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
             let b = colo.add_lane();
-            colo.start_loop(a, &cores0, &node_plan(64, 0), chunked_tasks(64, 0, 500.0, 800_000.0), 0.0);
-            colo.start_loop(b, &cores1, &node_plan(64, 1), chunked_tasks(64, 1, 500.0, 800_000.0), 0.0);
+            colo.start_loop(
+                a,
+                &cores0,
+                &node_plan(64, 0),
+                chunked_tasks(64, 0, 500.0, 800_000.0),
+                0.0,
+            );
+            colo.start_loop(
+                b,
+                &cores1,
+                &node_plan(64, 1),
+                chunked_tasks(64, 1, 500.0, 800_000.0),
+                0.0,
+            );
             loop {
                 let (lane, out) = colo.run_until_next_completion().unwrap();
                 if lane == a {
@@ -700,15 +782,13 @@ mod tests {
         let work = || chunked_tasks(64, 0, 200_000.0, 1_000.0);
 
         let t_alone = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
             colo.start_loop(a, &cores0, &node_plan(64, 0), work(), 0.0);
             colo.run_until_next_completion().unwrap().1.makespan_ns
         };
         let t_both = {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
             let a = colo.add_lane();
             let b = colo.add_lane();
             colo.start_loop(a, &cores0, &node_plan(64, 0), work(), 0.0);
@@ -730,8 +810,7 @@ mod tests {
         let topo = presets::tiny_2x4();
         let cores = topo.cpuset_of_mask(topo.all_nodes());
         let run = |lead: f64| {
-            let mut colo =
-                ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
             let a = colo.add_lane();
             colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), lead);
             colo.run_until_next_completion().unwrap().1.makespan_ns
@@ -773,7 +852,13 @@ mod tests {
         let a = colo.add_lane();
         let b = colo.add_lane();
         colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), 0.0);
-        colo.start_loop(b, &cores, &PlacementPlan::flat(), both_home_tasks(24, 2), 500.0);
+        colo.start_loop(
+            b,
+            &cores,
+            &PlacementPlan::flat(),
+            both_home_tasks(24, 2),
+            500.0,
+        );
         let mut seen = 0;
         while let Some((_, out)) = colo.run_until_next_completion() {
             seen += 1;
@@ -811,6 +896,108 @@ mod tests {
     }
 
     #[test]
+    fn slow_node_stretches_the_lane_running_there() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        // Find a seed whose plan slows node 0 and stalls nobody.
+        let config = FaultConfig {
+            max_slow_nodes: 1,
+            max_node_slowdown: 4.0,
+            ..FaultConfig::none()
+        };
+        let plan = (0..10_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(|p| p.node_slowdown(0) > 1.5 && p.stalls().is_empty())
+            .expect("some seed slows node 0");
+        let factor = plan.node_slowdown(0);
+
+        let topo = presets::tiny_2x4();
+        let cores0 = topo.cpuset_of_mask(NodeMask::single(NodeId::new(0)));
+        let run = |plan: Option<FaultPlan>| {
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+            if let Some(p) = plan {
+                colo.set_fault_plan(p);
+            }
+            let a = colo.add_lane();
+            colo.start_loop(
+                a,
+                &cores0,
+                &node_plan(64, 0),
+                chunked_tasks(64, 0, 200_000.0, 1_000.0),
+                0.0,
+            );
+            colo.run_until_next_completion().unwrap().1
+        };
+        let healthy = run(None);
+        let slowed = run(Some(plan));
+        assert_eq!(healthy.tasks_executed(), slowed.tasks_executed());
+        // Compute-bound chunks on a dedicated node: makespan scales almost
+        // exactly with the slowdown (overheads are unscaled, hence "almost").
+        let ratio = slowed.makespan_ns / healthy.makespan_ns;
+        assert!(
+            ratio > 0.9 * factor && ratio < 1.1 * factor,
+            "slowdown x{factor} should stretch the lane ~x{factor}, got x{ratio}"
+        );
+    }
+
+    #[test]
+    fn stalled_worker_delays_completion_but_loses_no_chunks() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let config = FaultConfig {
+            max_worker_stalls: 1,
+            max_stall_ns: 500_000,
+            ..FaultConfig::none()
+        };
+        let plan = (0..10_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(|p| p.stalls().len() == 1 && p.slow_nodes().is_empty())
+            .expect("some seed stalls one worker");
+
+        let topo = presets::tiny_2x4();
+        let cores = topo.cpuset_of_mask(topo.all_nodes());
+        let run = |plan: Option<FaultPlan>| {
+            let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
+            if let Some(p) = plan {
+                colo.set_fault_plan(p);
+            }
+            let a = colo.add_lane();
+            colo.start_loop(a, &cores, &split_plan(32, 2), both_home_tasks(32, 2), 0.0);
+            colo.run_until_next_completion().unwrap().1
+        };
+        let healthy = run(None);
+        let stalled = run(Some(plan.clone()));
+        assert_eq!(healthy.tasks_executed(), stalled.tasks_executed());
+        assert!(
+            stalled.makespan_ns >= healthy.makespan_ns,
+            "losing a worker for a while cannot speed the loop up: healthy={} stalled={}",
+            healthy.makespan_ns,
+            stalled.makespan_ns
+        );
+        // Same plan, same seed: the faulty run replays exactly.
+        let replay = run(Some(plan));
+        assert_eq!(stalled.makespan_ns, replay.makespan_ns);
+        assert_eq!(stalled.migrations, replay.migrations);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of simulation scope")]
+    fn permanent_stalls_are_rejected() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let config = FaultConfig {
+            max_worker_stalls: 1,
+            permanent_stalls: true,
+            max_stall_ns: 1_000,
+            ..FaultConfig::none()
+        };
+        let plan = (0..10_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(FaultPlan::has_permanent_stall)
+            .expect("some seed draws a permanent stall");
+        let topo = presets::tiny_2x4();
+        let mut colo = ColoMachine::new(MachineParams::for_topology(&topo).noiseless(), 1);
+        colo.set_fault_plan(plan);
+    }
+
+    #[test]
     fn deterministic_across_replays() {
         let topo = presets::tiny_2x4();
         let cores = topo.cpuset_of_mask(topo.all_nodes());
@@ -818,8 +1005,20 @@ mod tests {
             let mut colo = ColoMachine::new(MachineParams::for_topology(&topo), seed);
             let a = colo.add_lane();
             let b = colo.add_lane();
-            colo.start_loop(a, &cores, &PlacementPlan::flat(), both_home_tasks(40, 2), 0.0);
-            colo.start_loop(b, &cores, &PlacementPlan::flat(), both_home_tasks(24, 2), 1_000.0);
+            colo.start_loop(
+                a,
+                &cores,
+                &PlacementPlan::flat(),
+                both_home_tasks(40, 2),
+                0.0,
+            );
+            colo.start_loop(
+                b,
+                &cores,
+                &PlacementPlan::flat(),
+                both_home_tasks(24, 2),
+                1_000.0,
+            );
             let mut trace = Vec::new();
             while let Some((lane, out)) = colo.run_until_next_completion() {
                 trace.push((lane, out.makespan_ns, colo.now_ns()));

@@ -303,7 +303,9 @@ impl<'a> Engine<'a> {
                                 w.core.index() as u32,
                                 w.node as u32,
                                 self.now as u64,
-                                EventKind::ChunkEnd { chunk: *task as u32 },
+                                EventKind::ChunkEnd {
+                                    chunk: *task as u32,
+                                },
                             );
                         }
                         let node = &mut self.nodes_out[w.node];

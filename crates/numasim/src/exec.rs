@@ -87,20 +87,21 @@ impl PoolSet {
         now_ns: f64,
     ) -> PoolSet {
         plan.validate(num_tasks);
-        let enqueue = |tracer: &mut Option<&mut Recorder>, chunk: usize, home: usize, strict: bool| {
-            if let Some(tr) = tracer.as_deref_mut() {
-                tr.push(
-                    DISPATCHER,
-                    home as u32,
-                    now_ns as u64,
-                    EventKind::ChunkEnqueue {
-                        chunk: chunk as u32,
-                        home: home as u32,
-                        strict,
-                    },
-                );
-            }
-        };
+        let enqueue =
+            |tracer: &mut Option<&mut Recorder>, chunk: usize, home: usize, strict: bool| {
+                if let Some(tr) = tracer.as_deref_mut() {
+                    tr.push(
+                        DISPATCHER,
+                        home as u32,
+                        now_ns as u64,
+                        EventKind::ChunkEnqueue {
+                            chunk: chunk as u32,
+                            home: home as u32,
+                            strict,
+                        },
+                    );
+                }
+            };
         match plan {
             PlacementPlan::Flat => {
                 // Contiguous blocks (taskloop splitting) assigned to workers
@@ -112,7 +113,8 @@ impl PoolSet {
                     let j = (splitmix64(&mut st) as usize) % (i + 1);
                     order.swap(i, j);
                 }
-                let mut per_worker: Vec<VecDeque<usize>> = (0..w).map(|_| VecDeque::new()).collect();
+                let mut per_worker: Vec<VecDeque<usize>> =
+                    (0..w).map(|_| VecDeque::new()).collect();
                 for (slot, &wi) in order.iter().enumerate() {
                     let lo = slot * num_tasks / w;
                     let hi = (slot + 1) * num_tasks / w;
@@ -147,7 +149,8 @@ impl PoolSet {
             }
             PlacementPlan::Static => {
                 let w = workers.len();
-                let mut per_worker: Vec<VecDeque<usize>> = (0..w).map(|_| VecDeque::new()).collect();
+                let mut per_worker: Vec<VecDeque<usize>> =
+                    (0..w).map(|_| VecDeque::new()).collect();
                 for (i, q) in per_worker.iter_mut().enumerate() {
                     let lo = i * num_tasks / w;
                     let hi = (i + 1) * num_tasks / w;
@@ -213,11 +216,18 @@ pub(crate) struct Worker {
     pub(crate) core: CoreId,
     pub(crate) node: usize,
     pub(crate) state: WorkerState,
+    /// Machine time before which an injected stall keeps this worker out of
+    /// the acquire loop (0 = healthy). Time still advances past a stalled
+    /// worker — it just does not pop or steal until the stall expires.
+    pub(crate) stall_until_ns: f64,
 }
 
 /// Builds one worker per active core, plus the per-node worker census.
 pub(crate) fn make_workers(topo: &Topology, active: &CpuSet) -> (Vec<Worker>, Vec<usize>) {
-    assert!(!active.is_empty(), "taskloop needs at least one active core");
+    assert!(
+        !active.is_empty(),
+        "taskloop needs at least one active core"
+    );
     let workers: Vec<Worker> = active
         .iter()
         .map(|core| {
@@ -229,6 +239,7 @@ pub(crate) fn make_workers(topo: &Topology, active: &CpuSet) -> (Vec<Worker>, Ve
                 core,
                 node: topo.node_of_core(core).index(),
                 state: WorkerState::Idle,
+                stall_until_ns: 0.0,
             }
         })
         .collect();
@@ -360,10 +371,7 @@ pub(crate) fn seek(
                                 }
                             }
                         }
-                        (
-                            Some(t),
-                            params.remote_steal_cost_ns + params.pop_cost_ns,
-                        )
+                        (Some(t), params.remote_steal_cost_ns + params.pop_cost_ns)
                     }
                     None => (None, params.failed_steal_cost_ns),
                 }

@@ -35,12 +35,8 @@ pub(crate) fn traffic_rows(
             .locality
             .traffic_fraction(spec.home_node, spec.data_mask, NodeId::new(k));
         if frac > 0.0 {
-            let lat = 1.0
-                + sens
-                    * (topo
-                        .distances()
-                        .latency_factor(exec_node, NodeId::new(k))
-                        - 1.0);
+            let lat =
+                1.0 + sens * (topo.distances().latency_factor(exec_node, NodeId::new(k)) - 1.0);
             traffic.push((k, frac, lat));
         }
     }

@@ -71,6 +71,31 @@ impl CountLatch {
             self.cond.wait(&mut guard);
         }
     }
+
+    /// Blocks until the counter reaches zero or `timeout` elapses. Returns
+    /// whether the latch released — `false` means the deadline fired first
+    /// (the watchdog's cue to inspect progress and escalate).
+    pub(crate) fn wait_for(&self, timeout: std::time::Duration) -> bool {
+        let mut backoff = Backoff::new();
+        while !backoff.is_completed() {
+            if self.is_released() {
+                return true;
+            }
+            backoff.snooze();
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.mutex.lock();
+        while !self.is_released() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return self.is_released();
+            }
+            if self.cond.wait_for(&mut guard, deadline - now).timed_out() {
+                return self.is_released();
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +131,14 @@ mod tests {
         l.count_down();
         assert!(l.is_released());
         l.wait();
+    }
+
+    #[test]
+    fn wait_for_times_out_then_succeeds() {
+        let l = CountLatch::new(1);
+        assert!(!l.wait_for(std::time::Duration::from_millis(5)));
+        l.count_down();
+        assert!(l.wait_for(std::time::Duration::from_millis(5)));
     }
 
     #[test]

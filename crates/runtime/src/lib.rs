@@ -52,6 +52,7 @@ pub use chunk::{chunk_ranges, ChunkAssignment, Grain};
 pub use pin::{pin_current_thread, PinMode};
 pub use pool::{
     ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool, WakeMode, DEFAULT_INLINE_THRESHOLD,
+    DEFAULT_WATCHDOG,
 };
 pub use report::{LoopReport, NodeReport};
 

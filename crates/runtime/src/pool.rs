@@ -36,8 +36,9 @@ use crate::report::{LoopReport, NodeReport};
 use crate::sleep::{Backoff, SleepSlot};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam_utils::CachePadded;
+use ilan_faults::FaultPlan;
 use ilan_topology::{NodeId, NodeMask, Topology};
-use ilan_trace::{EventKind, EventLog, TraceSet, DISPATCHER};
+use ilan_trace::{EventKind, EventLog, FaultTag, TraceSet, DISPATCHER};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::ops::Range;
@@ -104,6 +105,27 @@ pub enum WakeMode {
 /// parallel speedup. Tune per pool with [`PoolConfig::inline_threshold`].
 pub const DEFAULT_INLINE_THRESHOLD: usize = 32;
 
+/// Watchdog deadline armed automatically when a fault plan is installed
+/// without an explicit [`PoolConfig::watchdog`] — long enough that a healthy
+/// invocation (or one with only the plan's bounded temporary stalls) never
+/// trips it, short enough that chaos tests stay fast.
+pub const DEFAULT_WATCHDOG: Duration = Duration::from_millis(25);
+
+/// Per-worker participation claims (armed watchdog only): the low two bits
+/// hold the state, the rest the invocation epoch. The epoch tag is what
+/// makes the protocol safe against late wakers — a worker that slept through
+/// its whole invocation finds the claim word re-tagged for a newer epoch and
+/// its compare-exchange fails, so it can never wander into an arena that is
+/// being rewritten.
+const CLAIM_OPEN: u64 = 0;
+const CLAIM_WORKER: u64 = 1;
+const CLAIM_DISPATCHER: u64 = 2;
+
+#[inline]
+fn claim_word(epoch: u64, state: u64) -> u64 {
+    (epoch << 2) | state
+}
+
 /// Pool construction parameters.
 #[derive(Clone, Debug)]
 pub struct PoolConfig {
@@ -117,6 +139,16 @@ pub struct PoolConfig {
     /// (see [`DEFAULT_INLINE_THRESHOLD`]). Set to 0 to dispatch everything
     /// except single-chunk loops.
     pub inline_threshold: usize,
+    /// Watchdog deadline per invocation: when the exit latch has not
+    /// released and no chunk has completed for this long, the dispatcher
+    /// escalates — first re-broadcasting wakeups, then claiming
+    /// never-started workers and draining their chunks itself. `None`
+    /// disarms the watchdog unless [`faults`](Self::faults) is set (a fault
+    /// plan with dropped wakeups or permanent stalls *requires* one, so it
+    /// auto-arms [`DEFAULT_WATCHDOG`]).
+    pub watchdog: Option<Duration>,
+    /// Deterministic fault plan for chaos testing (see `ilan-faults`).
+    pub faults: Option<FaultPlan>,
 }
 
 impl PoolConfig {
@@ -128,6 +160,8 @@ impl PoolConfig {
             pin: PinMode::Auto,
             wake: WakeMode::default(),
             inline_threshold: DEFAULT_INLINE_THRESHOLD,
+            watchdog: None,
+            faults: None,
         }
     }
 
@@ -146,6 +180,19 @@ impl PoolConfig {
     /// Sets the sequential-inline threshold.
     pub fn inline_threshold(mut self, iters: usize) -> Self {
         self.inline_threshold = iters;
+        self
+    }
+
+    /// Arms the watchdog with an explicit escalation deadline.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Installs a deterministic fault plan (arming the watchdog with
+    /// [`DEFAULT_WATCHDOG`] if no explicit deadline was set).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -327,6 +374,16 @@ struct Shared {
     /// dispatcher between invocations.
     exit_latch: CountLatch,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Armed watchdog deadline; `None` disables all claim bookkeeping.
+    watchdog: Option<Duration>,
+    /// Installed fault plan, consulted on the dispatch and worker paths.
+    faults: Option<FaultPlan>,
+    /// Chunks completed in the current invocation; the watchdog re-arms its
+    /// deadline while this is still advancing.
+    progress: CachePadded<AtomicU64>,
+    /// Per-worker participation claims, `claim_word(epoch, state)` (see the
+    /// CLAIM_* constants). Only meaningful while the watchdog is armed.
+    claims: Vec<AtomicU64>,
 }
 
 // SAFETY: the `UnsafeCell<RunData>` is governed by the epoch/latch protocol
@@ -386,6 +443,15 @@ impl ThreadPool {
             overhead_ns: CachePadded::new(AtomicU64::new(0)),
             exit_latch: CountLatch::new(0),
             panic: Mutex::new(None),
+            // A fault plan without an explicit deadline auto-arms the
+            // default watchdog: dropped wakeups and permanent stalls are
+            // unrecoverable without one.
+            watchdog: config
+                .watchdog
+                .or_else(|| config.faults.is_some().then_some(DEFAULT_WATCHDOG)),
+            faults: config.faults.clone(),
+            progress: CachePadded::new(AtomicU64::new(0)),
+            claims: (0..cores).map(|_| AtomicU64::new(0)).collect(),
         });
 
         let pin_results: Arc<Vec<AtomicBool>> =
@@ -407,7 +473,7 @@ impl ThreadPool {
                     }
                     // Register the thread handle before signalling ready: the
                     // ready latch orders it against the first post().
-                    shared.slots[i].register(std::thread::current());
+                    shared.slots[i].register(crate::sleep::thread_current());
                     ready.count_down();
                     worker_main(&shared, i, &deque);
                 })
@@ -612,9 +678,16 @@ impl ThreadPool {
             rd.trace = if traced {
                 // Generous ring bounds: a worker emits at most one
                 // acquisition, one start, and one end per chunk, plus its
-                // latch release; the dispatcher one enqueue per chunk.
-                let need_worker = 3 * num_chunks + 4;
-                let need_disp = num_chunks + 4;
+                // latch release and a possible steal-refusal marker; the
+                // dispatcher one enqueue per chunk — plus, under an armed
+                // watchdog, fault markers, degradation events and a full
+                // drain (acquire+start+end per chunk) in the worst case.
+                let need_worker = 3 * num_chunks + 8;
+                let need_disp = if shared.watchdog.is_some() {
+                    4 * num_chunks + 2 * all_workers + num_nodes + 8
+                } else {
+                    num_chunks + 4
+                };
                 let mut t = match rd.trace_cache.take() {
                     Some(t)
                         if t.num_rings() == all_workers
@@ -750,21 +823,83 @@ impl ThreadPool {
         let epoch = shared.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let run_token = (epoch << 1) | 1;
         let idle_token = epoch << 1;
-        match self.wake {
-            WakeMode::Targeted => {
-                for (i, &a) in rd.active.iter().enumerate() {
-                    if a {
-                        shared.slots[i].post(run_token);
-                    }
-                }
-            }
-            WakeMode::Broadcast => {
-                for (i, &a) in rd.active.iter().enumerate() {
-                    shared.slots[i].post(if a { run_token } else { idle_token });
+        if shared.watchdog.is_some() {
+            // Claim/progress bookkeeping for this epoch. At this point every
+            // active worker's claim holds WORKER or DISPATCHER of an older
+            // epoch (an invocation only ends once each active slot was
+            // claimed one way or the other), so re-opening for this epoch
+            // races nothing; the token posts below publish these stores.
+            shared.progress.store(0, Ordering::Relaxed);
+            for (i, &a) in rd.active.iter().enumerate() {
+                if a {
+                    shared.claims[i].store(claim_word(epoch, CLAIM_OPEN), Ordering::Relaxed);
                 }
             }
         }
-        shared.exit_latch.wait();
+        // Chaos: record the plan's scheduled faults for this invocation on
+        // the dispatcher ring, then post wakeups — skipping any the plan
+        // drops (the watchdog's broadcast escalation repairs those).
+        if let Some(plan) = &shared.faults {
+            if rd.trace.is_some() {
+                for &w in plan.stalls().keys() {
+                    if (w as usize) < rd.active.len() && rd.active[w as usize] {
+                        let node = topo.node_of_core(ilan_topology::CoreId::new(w as usize));
+                        emit_dispatcher(
+                            rd,
+                            node.index() as u32,
+                            EventKind::FaultInjected {
+                                fault: FaultTag::WorkerStall,
+                                target: w,
+                            },
+                        );
+                    }
+                }
+                for &n in plan.slow_nodes().keys() {
+                    if (n as usize) < num_nodes {
+                        emit_dispatcher(
+                            rd,
+                            n,
+                            EventKind::FaultInjected {
+                                fault: FaultTag::SlowNode,
+                                target: n,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let drops_wakeup = |i: usize| {
+            shared
+                .faults
+                .as_ref()
+                .is_some_and(|p| p.drops_wakeup(epoch, i as u32))
+        };
+        for (i, &a) in rd.active.iter().enumerate() {
+            if a {
+                if drops_wakeup(i) {
+                    let node = topo.node_of_core(ilan_topology::CoreId::new(i));
+                    emit_dispatcher(
+                        rd,
+                        node.index() as u32,
+                        EventKind::FaultInjected {
+                            fault: FaultTag::DroppedWakeup,
+                            target: i as u32,
+                        },
+                    );
+                    continue;
+                }
+                shared.slots[i].post(run_token);
+            } else if self.wake == WakeMode::Broadcast {
+                shared.slots[i].post(idle_token);
+            }
+        }
+        let degraded = match shared.watchdog {
+            None => {
+                shared.exit_latch.wait();
+                false
+            }
+            Some(deadline) => guarded_wait(shared, rd, epoch, run_token, idle_token, deadline),
+        };
         let makespan = start.elapsed();
 
         if let Some(payload) = shared.panic.lock().take() {
@@ -783,6 +918,7 @@ impl ThreadPool {
             }));
         report.migrations = shared.migrations.load(Ordering::Acquire);
         report.threads = rd.threads;
+        report.degraded = degraded;
         // The report's defining relation: a chunk is either local to the
         // node that ran it or it migrated there, never both, never neither.
         debug_assert_eq!(
@@ -843,6 +979,7 @@ impl ThreadPool {
         report.sched_overhead = Duration::ZERO;
         report.migrations = 0;
         report.threads = 1;
+        report.degraded = false;
     }
 }
 
@@ -881,6 +1018,208 @@ fn emit_enqueue(trace: &Option<TraceSet>, t0: Instant, chunk: usize, home: NodeI
     }
 }
 
+/// Records an event on the dispatcher's ring, if tracing.
+fn emit_dispatcher(rd: &RunData, node: u32, kind: EventKind) {
+    if let Some(trace) = &rd.trace {
+        trace
+            .dispatcher()
+            .push(DISPATCHER, node, rd.t0.elapsed().as_nanos() as u64, kind);
+    }
+}
+
+/// Deadline-bounded latch wait with two escalation stages. Returns whether
+/// the invocation degraded (needed any escalation to finish).
+///
+/// Stage 0 waits out `deadline`, re-arming while chunks keep completing —
+/// slow progress is not a stall. Stage 1 degrades `WakeMode::Targeted` to a
+/// broadcast re-post of the same tokens (repairing dropped wakeups;
+/// re-posting is idempotent because `SleepSlot::wait` only returns on an
+/// epoch *change*). Stage 2 claims every active worker that never started
+/// participating and executes their chunks on the dispatcher, counting the
+/// latch down on their behalf, then waits unboundedly for the workers that
+/// did start.
+fn guarded_wait(
+    shared: &Shared,
+    rd: &RunData,
+    epoch: u64,
+    run_token: u64,
+    idle_token: u64,
+    deadline: Duration,
+) -> bool {
+    let mut last_progress = shared.progress.load(Ordering::Relaxed);
+    loop {
+        if shared.exit_latch.wait_for(deadline) {
+            return false;
+        }
+        let now = shared.progress.load(Ordering::Relaxed);
+        if now == last_progress {
+            break;
+        }
+        last_progress = now;
+    }
+
+    // Stage 1: broadcast re-post.
+    emit_dispatcher(rd, 0, EventKind::Degraded { stage: 1, count: 0 });
+    for (i, &a) in rd.active.iter().enumerate() {
+        shared.slots[i].post(if a { run_token } else { idle_token });
+    }
+    let mut last_progress = shared.progress.load(Ordering::Relaxed);
+    loop {
+        if shared.exit_latch.wait_for(deadline) {
+            return true;
+        }
+        let now = shared.progress.load(Ordering::Relaxed);
+        if now == last_progress {
+            break;
+        }
+        last_progress = now;
+    }
+
+    // Stage 2: claim-and-drain. The compare-exchange races the claimed
+    // worker's own participation CAS; whoever wins owns that slot's latch
+    // decrement, so the count stays exact either way.
+    let mut claimed: Vec<usize> = Vec::new();
+    for (i, &a) in rd.active.iter().enumerate() {
+        if a && shared.claims[i]
+            .compare_exchange(
+                claim_word(epoch, CLAIM_OPEN),
+                claim_word(epoch, CLAIM_DISPATCHER),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            claimed.push(i);
+        }
+    }
+    if !claimed.is_empty() {
+        emit_dispatcher(
+            rd,
+            0,
+            EventKind::Degraded {
+                stage: 2,
+                count: claimed.len() as u32,
+            },
+        );
+        drain_on_dispatcher(shared, rd, &claimed);
+        for _ in &claimed {
+            shared.exit_latch.count_down();
+        }
+    }
+    // Whoever remains did start participating and will finish: wait them out.
+    shared.exit_latch.wait();
+    true
+}
+
+/// Executes all work reachable from the dispatcher on behalf of `claimed`
+/// (never-started) workers. In work-sharing mode that is exactly their
+/// static slices; in the queued modes the claimed workers own nothing yet,
+/// so the drain empties every injector and private deque it can reach —
+/// healthy workers racing it is fine, the queues are exactly-once.
+fn drain_on_dispatcher(shared: &Shared, rd: &RunData, claimed: &[usize]) {
+    if let QueueKind::Static = rd.kind {
+        for &i in claimed {
+            for chunk_idx in rd.static_slices[i].clone() {
+                execute_chunk_on_dispatcher(shared, rd, chunk_idx);
+            }
+        }
+        return;
+    }
+    let deque: Deque<usize> = Deque::new_fifo();
+    loop {
+        let next = deque.pop().or_else(|| {
+            if let Some(i) = batch_steal_until(&shared.queues.flat, &deque) {
+                return Some(i);
+            }
+            for q in shared
+                .queues
+                .strict
+                .iter()
+                .chain(shared.queues.shared.iter())
+            {
+                if let Some(i) = batch_steal_until(q, &deque) {
+                    return Some(i);
+                }
+            }
+            for s in &shared.stealers {
+                if let Some(i) = peer_steal_until(s, &deque) {
+                    return Some(i);
+                }
+            }
+            None
+        });
+        let Some(chunk_idx) = next else { break };
+        execute_chunk_on_dispatcher(shared, rd, chunk_idx);
+    }
+}
+
+/// Executes one chunk on the dispatcher, attributed to the chunk's home node
+/// (the drain substitutes for that node's claimed worker, so the chunk
+/// counts as local there and the audit's confinement rules keep holding).
+fn execute_chunk_on_dispatcher(shared: &Shared, rd: &RunData, chunk_idx: usize) {
+    let chunk = &rd.chunks[chunk_idx];
+    let node = chunk.home.index() as u32;
+    emit_dispatcher(
+        rd,
+        node,
+        EventKind::LocalPop {
+            chunk: chunk_idx as u32,
+        },
+    );
+    emit_dispatcher(
+        rd,
+        node,
+        EventKind::ChunkStart {
+            chunk: chunk_idx as u32,
+        },
+    );
+    let body_start = Instant::now();
+    // SAFETY: same argument as `execute_chunk` — the dispatch call keeps the
+    // body alive until this very function's caller finishes the invocation.
+    let body = unsafe { &*rd.body.0 };
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(chunk.range.clone())));
+    let elapsed = body_start.elapsed();
+    if let Err(payload) = result {
+        let mut slot = shared.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    let stats = &shared.node_stats[chunk.home.index()];
+    stats.tasks.fetch_add(1, Ordering::Relaxed);
+    stats.local_tasks.fetch_add(1, Ordering::Relaxed);
+    stats
+        .busy_ns
+        .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    emit_dispatcher(
+        rd,
+        node,
+        EventKind::ChunkEnd {
+            chunk: chunk_idx as u32,
+        },
+    );
+}
+
+/// Parks a permanently stalled worker until the dispatcher claims its slot
+/// (stage-2 degradation), the invocation is superseded, or shutdown.
+fn wait_out_permanent_stall(shared: &Shared, index: usize, epoch: u64, seen: u64) {
+    let released = claim_word(epoch, CLAIM_DISPATCHER);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.claims[index].load(Ordering::Acquire) == released {
+            return;
+        }
+        if shared.slots[index].epoch() != seen {
+            // A newer token was posted: the old invocation is over (its
+            // latch could only release once this slot was claimed).
+            return;
+        }
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
 fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
     let mut seen = 0u64;
     loop {
@@ -893,6 +1232,34 @@ fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
             // epoch bump): this invocation is not ours — and crucially we must
             // not read the arena, whose contents we were never published.
             continue;
+        }
+        let epoch = seen >> 1;
+        // Chaos: scheduled stalls fire before any arena access.
+        if let Some(plan) = &shared.faults {
+            if let Some(spec) = plan.stall_of(index as u32) {
+                if spec.permanent {
+                    // Never participate; the watchdog claims this slot and
+                    // drains on our behalf, so touching the latch here would
+                    // double-count.
+                    wait_out_permanent_stall(shared, index, epoch, seen);
+                    continue;
+                }
+                std::thread::sleep(Duration::from_nanos(spec.delay_ns));
+            }
+        }
+        if shared.watchdog.is_some() {
+            // Claim participation for this epoch. Losing the race means the
+            // dispatcher already drained for us (we woke too late) — or the
+            // claim word was re-tagged for a newer epoch entirely, in which
+            // case the arena may be mid-rewrite and must not be read.
+            let open = claim_word(epoch, CLAIM_OPEN);
+            let mine = claim_word(epoch, CLAIM_WORKER);
+            if shared.claims[index]
+                .compare_exchange(open, mine, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
         }
         {
             // SAFETY: the participate bit proves the dispatcher posted this
@@ -966,12 +1333,26 @@ fn execute_chunk(
     // which happens after this call returns.
     let body = unsafe { &*run.body.0 };
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(chunk.range.clone())));
-    let elapsed = body_start.elapsed();
+    let mut elapsed = body_start.elapsed();
 
     if let Err(payload) = result {
         let mut slot = shared.panic.lock();
         if slot.is_none() {
             *slot = Some(payload);
+        }
+    }
+
+    // Chaos: a slowed node pads each chunk to `elapsed × factor`, modelling
+    // a degraded memory/compute path. Spinning (not sleeping) keeps the pad
+    // precise at microsecond scales.
+    if let Some(plan) = &shared.faults {
+        let factor = plan.node_slowdown(my_node.index() as u32);
+        if factor > 1.0 {
+            let target = elapsed.mul_f64(factor);
+            while body_start.elapsed() < target {
+                std::hint::spin_loop();
+            }
+            elapsed = target;
         }
     }
 
@@ -990,6 +1371,11 @@ fn execute_chunk(
             chunk: chunk_idx as u32,
         },
     );
+    if shared.watchdog.is_some() {
+        // Progress heartbeat: the watchdog re-arms its deadline while this
+        // advances, so slow invocations are never mistaken for stalled ones.
+        shared.progress.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Pops or steals chunk indices until no work is reachable for this worker.
@@ -1118,6 +1504,23 @@ fn acquire(
                 }
             }
             if policy == StealPolicy::Full {
+                // Chaos: a refusing worker declines the whole remote sweep
+                // and idles instead, shifting its share onto its peers.
+                if shared
+                    .faults
+                    .as_ref()
+                    .is_some_and(|p| p.refuses_remote_steal(index as u32))
+                {
+                    run.emit(
+                        index,
+                        my_node,
+                        EventKind::FaultInjected {
+                            fault: FaultTag::StealRefusal,
+                            target: index as u32,
+                        },
+                    );
+                    return None;
+                }
                 // Own node fully idle: visit other nodes' *shared injectors*
                 // nearest-first. Never their private deques — those may hold
                 // NUMA-strict chunks.
@@ -1592,6 +1995,166 @@ mod tests {
         );
         assert_eq!(report.tasks_executed(), 20);
         assert_eq!(report.migrations, 0);
+    }
+
+    /// A plan whose only fault is a permanent stall of worker `w`.
+    fn permanent_stall_plan(topo: &Topology, w: u32) -> FaultPlan {
+        use ilan_faults::FaultConfig;
+        // Scan seeds for one that permanently stalls exactly `w`; the plan
+        // space is dense enough that a handful of seeds always suffices.
+        let config = FaultConfig {
+            max_worker_stalls: 1,
+            permanent_stalls: true,
+            max_stall_ns: 1_000_000,
+            ..FaultConfig::none()
+        };
+        for seed in 0..10_000u64 {
+            let p = FaultPlan::new(
+                seed,
+                topo.num_cores() as u32,
+                topo.num_nodes() as u32,
+                config,
+            );
+            if p.stalls().len() == 1 && p.stall_of(w).is_some_and(|s| s.permanent) {
+                return p;
+            }
+        }
+        panic!("no seed permanently stalls worker {w}");
+    }
+
+    #[test]
+    fn permanently_stalled_worker_degrades_but_completes() {
+        let topo = presets::tiny_2x4();
+        let plan = permanent_stall_plan(&topo, 5);
+        let p = ThreadPool::new(
+            PoolConfig::new(topo)
+                .pin(PinMode::Never)
+                .watchdog(Duration::from_millis(10))
+                .faults(plan),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let flags: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+            let start = Instant::now();
+            let (report, log) = p.taskloop_traced(0..500, 5, ExecMode::Flat, |r| {
+                for i in r {
+                    flags[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            // Degradation is bounded: two deadline windows plus the drain.
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "degraded completion took {:?}",
+                start.elapsed()
+            );
+            assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+            assert_eq!(report.tasks_executed(), 100);
+            assert!(report.degraded, "a permanent stall must degrade the run");
+            let audit = ilan_trace::audit(&log, &expect_from(&report));
+            assert!(audit.ok(), "audit violations: {audit}");
+        }
+    }
+
+    #[test]
+    fn permanently_stalled_worker_in_worksharing_mode() {
+        let topo = presets::tiny_2x4();
+        let plan = permanent_stall_plan(&topo, 2);
+        let p = ThreadPool::new(
+            PoolConfig::new(topo)
+                .pin(PinMode::Never)
+                .watchdog(Duration::from_millis(10))
+                .faults(plan),
+        )
+        .unwrap();
+        let flags: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+        let (report, log) = p.taskloop_traced(0..300, 3, ExecMode::WorkSharing, |r| {
+            for i in r {
+                flags[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+        assert!(report.degraded);
+        let audit = ilan_trace::audit(&log, &expect_from(&report));
+        assert!(audit.ok(), "audit violations: {audit}");
+    }
+
+    #[test]
+    fn watchdog_without_faults_stays_quiet() {
+        let p = ThreadPool::new(
+            PoolConfig::new(presets::tiny_2x4())
+                .pin(PinMode::Never)
+                .watchdog(Duration::from_millis(200)),
+        )
+        .unwrap();
+        let (report, log) = p.taskloop_traced(0..400, 4, ExecMode::Flat, |r| {
+            std::hint::black_box(r.sum::<usize>());
+        });
+        assert!(!report.degraded);
+        let audit = ilan_trace::audit(&log, &expect_from(&report));
+        assert!(audit.ok(), "audit violations: {audit}");
+        assert_eq!(audit.claimed_workers, 0);
+    }
+
+    #[test]
+    fn slow_invocation_does_not_trip_the_watchdog() {
+        // Each chunk outlasts the deadline, but progress keeps advancing:
+        // the watchdog must keep re-arming instead of escalating.
+        let p = ThreadPool::new(
+            PoolConfig::new(presets::smp(2))
+                .pin(PinMode::Never)
+                .watchdog(Duration::from_millis(5)),
+        )
+        .unwrap();
+        let report = p.taskloop(0..40, 1, ExecMode::Flat, |_| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(!report.degraded, "steady progress was mistaken for a stall");
+        assert_eq!(report.tasks_executed(), 40);
+    }
+
+    #[test]
+    fn chaos_plan_runs_audit_clean_across_seeds() {
+        use ilan_faults::FaultConfig;
+        // A fast chaos sweep at the pool level: every fault class the
+        // runtime implements, several seeds, full invariant audit each run.
+        let config = FaultConfig {
+            max_stall_ns: 200_000, // keep temporary stalls test-fast
+            ..FaultConfig::chaos()
+        };
+        for seed in 0..6u64 {
+            let topo = presets::tiny_2x4();
+            let plan = FaultPlan::new(
+                seed,
+                topo.num_cores() as u32,
+                topo.num_nodes() as u32,
+                config,
+            );
+            let p = ThreadPool::new(
+                PoolConfig::new(topo)
+                    .pin(PinMode::Never)
+                    .watchdog(Duration::from_millis(10))
+                    .faults(plan),
+            )
+            .unwrap();
+            let mode = ExecMode::Hierarchical {
+                mask: p.topology().all_nodes(),
+                threads: 0,
+                strict_fraction: 0.5,
+                policy: StealPolicy::Full,
+            };
+            let flags: Vec<AtomicUsize> = (0..400).map(|_| AtomicUsize::new(0)).collect();
+            let (report, log) = p.taskloop_traced(0..400, 4, mode, |r| {
+                for i in r {
+                    flags[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                flags.iter().all(|f| f.load(Ordering::Relaxed) == 1),
+                "seed {seed}: lost or repeated iterations"
+            );
+            let audit = ilan_trace::audit(&log, &expect_from(&report));
+            assert!(audit.ok(), "seed {seed}: audit violations: {audit}");
+        }
     }
 
     #[test]

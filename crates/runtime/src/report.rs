@@ -35,6 +35,10 @@ pub struct LoopReport {
     pub migrations: usize,
     /// Number of workers eligible to run chunks in this invocation.
     pub threads: usize,
+    /// Whether the pool's watchdog escalated during this invocation
+    /// (broadcast re-wake and/or dispatcher drain). The loop still executed
+    /// every chunk exactly once; `true` only flags that it needed help.
+    pub degraded: bool,
 }
 
 impl LoopReport {
@@ -95,6 +99,7 @@ mod tests {
             ],
             migrations: 2,
             threads: 8,
+            degraded: false,
         };
         assert_eq!(r.tasks_executed(), 8);
         assert!((r.locality_fraction() - 0.75).abs() < 1e-12);

@@ -14,9 +14,29 @@
 //! them within microseconds.
 
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::thread::Thread;
+
+// Under `--cfg loom` the slot's atomics and park/unpark run on the loom
+// model-checker shims so the protocol can be exhaustively explored; see the
+// `loom_model` test module. Outside a loom model the shims delegate to std,
+// so a `--cfg loom` build still behaves normally.
+#[cfg(not(loom))]
+pub(crate) mod sys {
+    pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    pub(crate) use std::thread::{current, park, Thread};
+}
+#[cfg(loom)]
+pub(crate) mod sys {
+    pub(crate) use loom::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    pub(crate) use loom::thread::{current, park, Thread};
+}
+
+use sys::{AtomicU32, AtomicU64, Ordering, Thread};
+
+/// The current thread's parkable handle (std's, or loom's inside a model).
+pub(crate) fn thread_current() -> Thread {
+    sys::current()
+}
 
 /// Bounded exponential backoff for contended retry loops.
 ///
@@ -55,7 +75,16 @@ impl Backoff {
 
     /// Whether the caller should stop snoozing and park instead.
     pub(crate) fn is_completed(&self) -> bool {
-        self.step > Self::YIELD_LIMIT
+        // Under loom, spinning only multiplies the interleavings to
+        // explore without changing reachability: park immediately.
+        #[cfg(loom)]
+        {
+            true
+        }
+        #[cfg(not(loom))]
+        {
+            self.step > Self::YIELD_LIMIT
+        }
     }
 }
 
@@ -113,6 +142,12 @@ impl SleepSlot {
         }
     }
 
+    /// The currently published epoch (used by fault-injected stall loops to
+    /// notice that a new invocation superseded the one they slept through).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
     /// Blocks until the slot's epoch differs from `seen`, returning the new
     /// epoch. Spins with backoff first, then parks.
     pub(crate) fn wait(&self, seen: u64) -> u64 {
@@ -133,7 +168,7 @@ impl SleepSlot {
                     self.state.store(AWAKE, Ordering::Relaxed);
                     continue;
                 }
-                std::thread::park();
+                sys::park();
                 self.state.store(AWAKE, Ordering::SeqCst);
             } else {
                 backoff.snooze();
@@ -142,7 +177,55 @@ impl SleepSlot {
     }
 }
 
-#[cfg(test)]
+/// Exhaustive model of the eventcount protocol under `WakeMode::Targeted`.
+///
+/// Run with `RUSTFLAGS="--cfg loom" cargo test -p ilan-runtime loom_model`.
+/// The model is the exact code production uses — `post` racing `wait` —
+/// not a transcription: a lost wakeup in any interleaving deadlocks the
+/// join and fails the model with a deadlock report.
+#[cfg(all(loom, test))]
+mod loom_model {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn targeted_post_never_loses_a_wakeup() {
+        loom::model(|| {
+            let slot = Arc::new(SleepSlot::new());
+            let s2 = Arc::clone(&slot);
+            let waiter = loom::thread::spawn(move || {
+                s2.register(thread_current());
+                s2.wait(0)
+            });
+            // The dispatcher side of WakeMode::Targeted: publish the new
+            // epoch, then wake the worker iff it already parked.
+            slot.post(1);
+            assert_eq!(waiter.join().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn back_to_back_posts_reach_a_slow_waiter() {
+        // A worker that sat out an invocation must still observe the
+        // latest epoch, whichever point of the protocol it parked at.
+        loom::model(|| {
+            let slot = Arc::new(SleepSlot::new());
+            let s2 = Arc::clone(&slot);
+            let waiter = loom::thread::spawn(move || {
+                s2.register(thread_current());
+                let e = s2.wait(0);
+                assert!(e == 1 || e == 2, "stale epoch {e}");
+                s2.wait(e.wrapping_sub(1)) // already-new epoch: no block
+            });
+            slot.post(1);
+            slot.post(2);
+            let last = waiter.join().unwrap();
+            assert!(last == 1 || last == 2);
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::Arc;

@@ -26,6 +26,11 @@
 //!
 //! The headline experiment ([`compare_policies`]) replays one stream under
 //! all three policies; `repro -- colo` prints it.
+//!
+//! Under fault injection ([`run_colocation_faulty`]) the same serving loop
+//! degrades instead of failing: injected loop failures retry with
+//! exponential backoff, corrupted PTT saves fall back to cold starts, and
+//! overload arrivals are shed with full accounting ([`ColoRunReport`]).
 
 #![warn(missing_docs)]
 
@@ -40,5 +45,7 @@ pub use job::{generate_stream, JobPriority, JobSpec, StreamParams};
 pub use metrics::{summarize, ColoSummary, JobRecord};
 pub use partition::{demand_ratio, is_bandwidth_hungry, Partitioner, SharingPolicy, ALL_POLICIES};
 pub use report::{compare_policies, ColoExperiment};
-pub use server::{run_colocation, PttStore, ServerConfig};
+pub use server::{
+    run_colocation, run_colocation_faulty, ColoRunReport, PttStore, ServerConfig, RETRY_BACKOFF_NS,
+};
 pub use tenant::{confine_app, Tenant};

@@ -99,10 +99,7 @@ pub fn summarize(policy: &'static str, records: &[JobRecord]) -> ColoSummary {
     assert!(!records.is_empty(), "summary needs at least one job");
     let mut latencies: Vec<f64> = records.iter().map(|r| r.latency_ns()).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let makespan_ns = records
-        .iter()
-        .map(|r| r.finish_ns)
-        .fold(0.0f64, f64::max);
+    let makespan_ns = records.iter().map(|r| r.finish_ns).fold(0.0f64, f64::max);
     let antt = records.iter().map(|r| r.slowdown()).sum::<f64>() / records.len() as f64;
     let max_slowdown = records.iter().map(|r| r.slowdown()).fold(0.0f64, f64::max);
     let mut per_workload: BTreeMap<&'static str, (f64, usize)> = BTreeMap::new();
@@ -151,7 +148,11 @@ impl fmt::Display for ColoSummary {
             ms(self.p95_ns),
             ms(self.p99_ns)
         )?;
-        write!(f, "  ANTT={:.2} max-slowdown={:.2}", self.antt, self.max_slowdown)?;
+        write!(
+            f,
+            "  ANTT={:.2} max-slowdown={:.2}",
+            self.antt, self.max_slowdown
+        )?;
         for (w, s) in &self.per_workload {
             write!(f, " {w}={s:.2}")?;
         }
@@ -163,7 +164,13 @@ impl fmt::Display for ColoSummary {
 mod tests {
     use super::*;
 
-    fn record(id: usize, workload: Workload, arrival: f64, finish: f64, isolated: f64) -> JobRecord {
+    fn record(
+        id: usize,
+        workload: Workload,
+        arrival: f64,
+        finish: f64,
+        isolated: f64,
+    ) -> JobRecord {
         JobRecord {
             id,
             workload,

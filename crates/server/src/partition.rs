@@ -258,7 +258,10 @@ impl Partitioner {
         if hungry && self.policy == SharingPolicy::InterferenceAware {
             let s = self.topo.socket_of_node(mask.first().expect("non-empty"));
             let s = s.index();
-            assert!(self.hungry_on_socket[s] > 0, "hungry release without allocation");
+            assert!(
+                self.hungry_on_socket[s] > 0,
+                "hungry release without allocation"
+            );
             self.hungry_on_socket[s] -= 1;
         }
     }

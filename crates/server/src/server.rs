@@ -21,16 +21,30 @@
 //! Per-job slowdowns are measured against the same job run alone on the
 //! whole machine with a cold scheduler, on a separate machine seeded
 //! deterministically from the run seed.
+//!
+//! **Resilience** — [`run_colocation_faulty`] replays the same loop under an
+//! [`ilan_faults::FaultPlan`] and reports how the service degraded instead
+//! of failing: injected loop failures are retried with exponential backoff
+//! (without perturbing the tenant's scheduler state), corrupted PTT saves
+//! are detected at load time and fall back to a cold start, arrivals beyond
+//! the plan's admission-queue limit are shed (tracked, never silently
+//! dropped), and job bursts stress the queue at seed-chosen completions.
 
 use crate::job::{JobPriority, JobSpec};
 use crate::metrics::JobRecord;
 use crate::partition::{is_bandwidth_hungry, Partitioner, SharingPolicy};
 use crate::tenant::Tenant;
 use ilan::ptt::Ptt;
+use ilan_faults::FaultPlan;
 use ilan_numasim::{ColoMachine, MachineParams};
 use ilan_topology::Topology;
 use ilan_workloads::{Scale, SimApp, Workload};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Base of the retry backoff for injected loop failures, ns. Attempt `k`
+/// (1-based) resubmits after `RETRY_BACKOFF_NS × 2^(k-1)`.
+pub const RETRY_BACKOFF_NS: f64 = 20_000.0;
 
 /// Configuration of a serving run.
 #[derive(Clone, Debug)]
@@ -73,15 +87,29 @@ pub struct PttStore {
 impl PttStore {
     /// Saves `ptt` for later jobs of the same workload and partition size.
     pub fn save(&mut self, workload: Workload, partition_nodes: usize, ptt: &Ptt) {
-        self.entries
-            .insert((workload, partition_nodes), ptt.save_text());
+        self.save_raw(workload, partition_nodes, ptt.save_text());
     }
 
-    /// Loads the stored PTT, if any.
+    /// Saves pre-rendered PTT text verbatim — the fault-injection path uses
+    /// this to plant corrupted bytes the loader must survive.
+    pub fn save_raw(&mut self, workload: Workload, partition_nodes: usize, text: String) {
+        self.entries.insert((workload, partition_nodes), text);
+    }
+
+    /// Loads the stored PTT, if any. Lenient: unparsable text (a corrupted
+    /// or torn save) reads as *absent*, so the caller cold-starts instead of
+    /// crashing — stored history is a cache, never ground truth.
     pub fn load(&self, workload: Workload, partition_nodes: usize) -> Option<Ptt> {
-        self.entries.get(&(workload, partition_nodes)).map(|text| {
-            Ptt::load_text(text).expect("store holds only text written by save_text")
-        })
+        self.entries
+            .get(&(workload, partition_nodes))
+            .and_then(|text| Ptt::load_text(text).ok())
+    }
+
+    /// Whether an entry exists for the key, parsable or not. Together with
+    /// [`load`](Self::load) this distinguishes "never saved" from
+    /// "saved but corrupted" (a recovered cold start).
+    pub fn has(&self, workload: Workload, partition_nodes: usize) -> bool {
+        self.entries.contains_key(&(workload, partition_nodes))
     }
 
     /// Whether any stored PTT for `workload` settled below the partition's
@@ -93,11 +121,18 @@ impl PttStore {
             if *w != workload {
                 continue;
             }
-            let ptt = Ptt::load_text(text).expect("store holds valid text");
+            // Corrupted entries carry no signal; skip them.
+            let Ok(ptt) = Ptt::load_text(text) else {
+                continue;
+            };
             let capacity = nodes * cores_per_node;
             for site in ptt.site_ids() {
-                let Some(table) = ptt.site(site) else { continue };
-                let Some(best) = table.fastest() else { continue };
+                let Some(table) = ptt.site(site) else {
+                    continue;
+                };
+                let Some(best) = table.fastest() else {
+                    continue;
+                };
                 seen = true;
                 if best.threads < capacity {
                     return Some(true);
@@ -151,6 +186,64 @@ fn isolated_latency_ns(
 /// Replays `stream` under `config`, returning one record per job, in
 /// completion order. Deterministic in `(config, stream, seed)`.
 pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> Vec<JobRecord> {
+    run_colocation_impl(config, stream, seed, None).records
+}
+
+/// Outcome of a colocation run under fault injection: the served jobs plus
+/// the degradations the service absorbed. Produced by
+/// [`run_colocation_faulty`]; a fault-free run has every counter at zero.
+#[derive(Clone, Debug)]
+pub struct ColoRunReport {
+    /// Served jobs, in completion order (stream jobs and burst jobs).
+    pub records: Vec<JobRecord>,
+    /// Jobs shed at admission because the wait queue exceeded the plan's
+    /// limit. Shed jobs are never admitted and never produce a record.
+    pub shed: Vec<JobSpec>,
+    /// Invocations resubmitted after an injected loop failure.
+    pub retries: usize,
+    /// Extra jobs injected by the plan's bursts.
+    pub injected_jobs: usize,
+    /// PTT saves written with corrupted text.
+    pub corrupted_saves: usize,
+    /// Warm-start attempts that found a stored-but-unparsable PTT and fell
+    /// back to a cold start.
+    pub recovered_cold_starts: usize,
+}
+
+impl fmt::Display for ColoRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served={} shed={} retries={} injected={} corrupted-saves={} recovered-cold-starts={}",
+            self.records.len(),
+            self.shed.len(),
+            self.retries,
+            self.injected_jobs,
+            self.corrupted_saves,
+            self.recovered_cold_starts
+        )
+    }
+}
+
+/// [`run_colocation`] under a fault plan: injected loop failures, PTT
+/// corruption, admission shedding, and job bursts (see module docs).
+/// Deterministic in `(config, stream, seed, plan)` — the same plan replays
+/// the same degradations.
+pub fn run_colocation_faulty(
+    config: &ServerConfig,
+    stream: &[JobSpec],
+    seed: u64,
+    plan: &FaultPlan,
+) -> ColoRunReport {
+    run_colocation_impl(config, stream, seed, Some(plan))
+}
+
+fn run_colocation_impl(
+    config: &ServerConfig,
+    stream: &[JobSpec],
+    seed: u64,
+    faults: Option<&FaultPlan>,
+) -> ColoRunReport {
     let topo = &config.topology;
     let params = MachineParams::for_topology(topo);
     let mut machine = ColoMachine::new(params.clone(), seed);
@@ -169,15 +262,17 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
         static_hungry
             .entry(job.workload)
             .or_insert_with(|| is_bandwidth_hungry(app, topo, &params));
-        baselines.entry((job.workload, job.steps)).or_insert_with(|| {
-            isolated_latency_ns(
-                topo,
-                config.scale,
-                job.workload,
-                job.steps,
-                seed ^ 0x1505_19AF ^ (i as u64),
-            )
-        });
+        baselines
+            .entry((job.workload, job.steps))
+            .or_insert_with(|| {
+                isolated_latency_ns(
+                    topo,
+                    config.scale,
+                    job.workload,
+                    job.steps,
+                    seed ^ 0x1505_19AF ^ (i as u64),
+                )
+            });
     }
 
     // Pending arrivals (sorted), the wait queue, and active tenants by lane.
@@ -193,13 +288,33 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
     let mut tenants: HashMap<usize, Tenant> = HashMap::new();
     let mut records: Vec<JobRecord> = Vec::new();
 
+    // Fault bookkeeping (all zero / inert without a plan).
+    let mut shed: Vec<JobSpec> = Vec::new();
+    let mut retries = 0usize;
+    let mut corrupted_saves = 0usize;
+    let mut recovered_cold_starts = 0usize;
+    let mut injected_jobs = 0usize;
+    let mut save_index = 0u64;
+    let shed_limit = faults.and_then(|p| p.shed_queue_limit());
+    let mut bursts: Vec<ilan_faults::BurstSpec> =
+        faults.map(|p| p.bursts().to_vec()).unwrap_or_default();
+    bursts.sort_by_key(|b| b.after_job);
+    let mut next_burst = 0usize;
+    let mut next_id = stream.iter().map(|j| j.id + 1).max().unwrap_or(0);
+
     loop {
         let now = machine.now_ns();
         // Move due arrivals into the wait queue, highest priority first,
         // then arrival order (ids break exact-time ties deterministically).
+        // Over the plan's queue limit, arrivals are shed instead.
         while next_pending < pending.len() && pending[next_pending].arrival_ns <= now {
-            waiting.push(pending[next_pending].clone());
+            let job = pending[next_pending].clone();
             next_pending += 1;
+            if shed_limit.is_some_and(|limit| waiting.len() >= limit) {
+                shed.push(job);
+            } else {
+                waiting.push(job);
+            }
         }
         waiting.sort_by(|a, b| a.priority.cmp(&b.priority).then(a.id.cmp(&b.id)));
 
@@ -214,7 +329,13 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
                 Some(partition) => {
                     let job = waiting.remove(i);
                     let warm = if config.warm_start {
-                        store.load(job.workload, partition.count())
+                        let loaded = store.load(job.workload, partition.count());
+                        if loaded.is_none() && store.has(job.workload, partition.count()) {
+                            // Stored but unparsable: a corrupted save the
+                            // lenient loader degraded to a cold start.
+                            recovered_cold_starts += 1;
+                        }
+                        loaded
                     } else {
                         None
                     };
@@ -247,6 +368,17 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
 
         if let Some((lane, outcome)) = completion {
             let tenant = tenants.get_mut(&lane).expect("completion on unknown lane");
+            // An injected loop failure: the invocation's outcome is void;
+            // retry it with exponential backoff until the plan's failure
+            // count for (job, invocation) is exhausted.
+            let failures = faults.map_or(0, |p| {
+                p.loop_failures(tenant.job.id as u64, tenant.invocation_index() as u64)
+            });
+            if tenant.attempts() < failures {
+                tenant.retry_current(&mut machine, RETRY_BACKOFF_NS);
+                retries += 1;
+                continue;
+            }
             if tenant.on_completion(&outcome) {
                 let tenant = tenants.remove(&lane).expect("just seen");
                 let key = (tenant.job.workload, tenant.job.steps);
@@ -263,21 +395,55 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
                     isolated_ns: baselines[&key],
                 });
                 if config.warm_start {
-                    store.save(
-                        tenant.job.workload,
-                        tenant.partition.count(),
-                        tenant.scheduler().ptt(),
-                    );
+                    let mut text = tenant.scheduler().ptt().save_text();
+                    if let Some(p) = faults {
+                        if p.corrupts_ptt(save_index) {
+                            text = p.corrupt_text(&text);
+                            corrupted_saves += 1;
+                        }
+                    }
+                    save_index += 1;
+                    store.save_raw(tenant.job.workload, tenant.partition.count(), text);
                 }
                 partitioner.release(tenant.partition, tenant.hungry);
+                // Bursts fire on the plan's completion counts: a batch of
+                // clones of stream jobs arriving at once, stressing the
+                // admission queue (and the shed path, if the queue is full).
+                while next_burst < bursts.len() && records.len() >= bursts[next_burst].after_job {
+                    let b = bursts[next_burst];
+                    next_burst += 1;
+                    for k in 0..b.jobs {
+                        let mut j = stream[(injected_jobs + k) % stream.len()].clone();
+                        j.id = next_id;
+                        next_id += 1;
+                        j.arrival_ns = machine.now_ns();
+                        if shed_limit.is_some_and(|limit| waiting.len() >= limit) {
+                            shed.push(j);
+                        } else {
+                            waiting.push(j);
+                        }
+                    }
+                    injected_jobs += b.jobs;
+                }
             } else {
                 tenant.start_next(&mut machine);
             }
         }
     }
 
-    assert_eq!(records.len(), stream.len(), "every job must complete");
-    records
+    assert_eq!(
+        records.len() + shed.len(),
+        stream.len() + injected_jobs,
+        "every submitted job must complete or be accounted as shed"
+    );
+    ColoRunReport {
+        records,
+        shed,
+        retries,
+        injected_jobs,
+        corrupted_saves,
+        recovered_cold_starts,
+    }
 }
 
 #[cfg(test)]
@@ -297,7 +463,10 @@ mod tests {
         let records = run_colocation(&cfg, &stream, 3);
         assert_eq!(records.len(), 6);
         for r in &records {
-            assert!(r.admitted_ns >= r.arrival_ns - 1e-9, "admitted before arrival");
+            assert!(
+                r.admitted_ns >= r.arrival_ns - 1e-9,
+                "admitted before arrival"
+            );
             assert!(r.finish_ns > r.admitted_ns, "zero-length job");
             assert!(r.isolated_ns > 0.0);
             assert!(r.slowdown() > 0.0);
@@ -356,6 +525,134 @@ mod tests {
         let stream = generate_stream(1, &p);
         let records = run_colocation(&cfg, &stream, 1);
         assert!(records.iter().all(|r| !r.warm_started));
+    }
+
+    #[test]
+    fn faulty_run_with_inert_plan_matches_plain_run() {
+        use ilan_faults::FaultConfig;
+        let cfg = quick_config(SharingPolicy::InterferenceAware);
+        let stream = generate_stream(5, &StreamParams::mixed(5, 1e6));
+        let plain = run_colocation(&cfg, &stream, 5);
+        let report = run_colocation_faulty(
+            &cfg,
+            &stream,
+            5,
+            &ilan_faults::FaultPlan::new(9, 8, 2, FaultConfig::none()),
+        );
+        assert_eq!(report.retries, 0);
+        assert!(report.shed.is_empty());
+        assert_eq!(report.corrupted_saves, 0);
+        assert_eq!(report.injected_jobs, 0);
+        for (x, y) in plain.iter().zip(&report.records) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish_ns, y.finish_ns);
+        }
+    }
+
+    #[test]
+    fn injected_loop_failures_are_retried_to_completion() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(2, &StreamParams::mixed(4, 1e6));
+        let config = FaultConfig {
+            max_loop_failures: 2,
+            loop_failure_denom: 3,
+            ..FaultConfig::none()
+        };
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(|p| (0..4u64).any(|j| (0..8u64).any(|i| p.loop_failures(j, i) > 0)))
+            .expect("some seed injects a loop failure");
+        let report = run_colocation_faulty(&cfg, &stream, 2, &plan);
+        assert!(report.retries > 0, "plan was chosen to inject failures");
+        assert_eq!(
+            report.records.len(),
+            stream.len(),
+            "retries must not lose jobs"
+        );
+        // Retried invocations stretch latency but never break accounting.
+        for r in &report.records {
+            assert!(r.finish_ns > r.admitted_ns);
+            assert!(r.slowdown() > 0.0);
+        }
+        // Same plan, same degradations: the report line is byte-stable.
+        let replay = run_colocation_faulty(&cfg, &stream, 2, &plan);
+        assert_eq!(report.to_string(), replay.to_string());
+    }
+
+    #[test]
+    fn corrupted_ptt_saves_degrade_to_cold_starts() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        // Every save is corrupted; sequential identical jobs would normally
+        // warm-start from each other.
+        let cfg = quick_config(SharingPolicy::Naive);
+        let p = StreamParams {
+            jobs: 2,
+            mean_interarrival_ns: 1e12,
+            mix: vec![Workload::Cg],
+            steps: 2,
+            high_priority_fraction: 0.0,
+        };
+        let stream = generate_stream(1, &p);
+        let config = FaultConfig {
+            ptt_corruption_denom: 1,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(4, 8, 2, config);
+        let report = run_colocation_faulty(&cfg, &stream, 1, &plan);
+        assert_eq!(report.records.len(), 2);
+        assert!(report.corrupted_saves >= 1);
+        assert!(
+            report.recovered_cold_starts >= 1,
+            "lenient load must notice the corruption"
+        );
+        // The would-be warm job cold-started instead of crashing.
+        assert!(report.records.iter().all(|r| !r.warm_started));
+    }
+
+    #[test]
+    fn overloaded_queue_sheds_with_full_accounting() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        // Many near-simultaneous arrivals against a queue capped at 1.
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(7, &StreamParams::mixed(10, 1.0));
+        let config = FaultConfig {
+            shed_queue_limit: Some(1),
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(7, 8, 2, config);
+        let report = run_colocation_faulty(&cfg, &stream, 7, &plan);
+        assert!(!report.shed.is_empty(), "overload must shed");
+        assert_eq!(report.records.len() + report.shed.len(), stream.len());
+        // Shed jobs were never admitted: no record carries their id.
+        for s in &report.shed {
+            assert!(report.records.iter().all(|r| r.id != s.id));
+        }
+    }
+
+    #[test]
+    fn bursts_inject_extra_jobs_that_all_complete() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(3, &StreamParams::mixed(3, 1e6));
+        let config = FaultConfig {
+            max_bursts: 2,
+            max_burst_jobs: 2,
+            ..FaultConfig::none()
+        };
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(|p| p.bursts().iter().any(|b| b.after_job <= 2 && b.jobs > 0))
+            .expect("some seed bursts early enough to fire");
+        let report = run_colocation_faulty(&cfg, &stream, 3, &plan);
+        assert!(report.injected_jobs > 0, "plan was chosen to fire a burst");
+        assert_eq!(
+            report.records.len() + report.shed.len(),
+            stream.len() + report.injected_jobs
+        );
+        // Burst jobs carry fresh ids above the stream's.
+        let max_stream_id = stream.iter().map(|j| j.id).max().unwrap();
+        assert!(report.records.iter().any(|r| r.id > max_stream_id));
     }
 
     #[test]

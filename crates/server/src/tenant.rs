@@ -60,6 +60,10 @@ pub struct Tenant {
     next_invocation: usize,
     /// The in-flight invocation's site and decision.
     in_flight: Option<(SiteId, Decision)>,
+    /// Failed attempts of the current invocation (reset on success).
+    attempt: u32,
+    /// Total injected loop failures retried across the job.
+    pub retries: u32,
     /// Serial-section part of the in-flight lead (subtracted from the
     /// recorded time so the PTT sees loop time, as the single-loop driver's
     /// PTT does).
@@ -109,6 +113,8 @@ impl Tenant {
             sched,
             next_invocation: 0,
             in_flight: None,
+            attempt: 0,
+            retries: 0,
             serial_lead_ns: 0.0,
             sched_overhead_ns: 0.0,
             trace: None,
@@ -143,6 +149,16 @@ impl Tenant {
     /// The tenant's scheduler (for PTT harvest at job completion).
     pub fn scheduler(&self) -> &IlanScheduler {
         &self.sched
+    }
+
+    /// Flat index of the invocation currently in flight (or next to start).
+    pub fn invocation_index(&self) -> usize {
+        self.next_invocation
+    }
+
+    /// Failed attempts of the current invocation so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
     }
 
     /// Submits the next invocation on the tenant's lane.
@@ -191,6 +207,41 @@ impl Tenant {
         self.in_flight = Some((site, decision));
     }
 
+    /// Discards the in-flight invocation's outcome — an injected loop
+    /// failure — and resubmits the *same* invocation with an exponential
+    /// backoff lead (`backoff_ns × 2^(attempt-1)`). The scheduler neither
+    /// records the failed attempt nor re-decides: the decision that was in
+    /// flight is retried verbatim, so the PTT and exploration state see
+    /// exactly the sequence a fault-free run would.
+    ///
+    /// # Panics
+    /// Panics if no invocation is in flight.
+    pub fn retry_current(&mut self, machine: &mut ColoMachine, backoff_ns: f64) {
+        let (site, decision) = self
+            .in_flight
+            .take()
+            .expect("retry without an in-flight invocation");
+        self.attempt += 1;
+        self.retries += 1;
+        let idx = self.next_invocation;
+        let site_idx = self.app.schedule[idx % self.app.schedule.len()];
+        let tasks = self.app.sites[site_idx].tasks.clone();
+        let cores = match &decision {
+            Decision::Hierarchical { mask, threads, .. } => {
+                active_cores(&self.topo, *mask, *threads)
+            }
+            _ => self.topo.cpuset_of_mask(self.partition),
+        };
+        let plan = build_plan(&decision, tasks.len());
+        let lead = backoff_ns * 2f64.powi(self.attempt as i32 - 1);
+        // Strip the backoff from the eventual recorded time the same way the
+        // serial section is stripped: the PTT must see loop time, not the
+        // retry policy.
+        self.serial_lead_ns = lead;
+        machine.start_loop(self.lane, &cores, &plan, tasks, lead);
+        self.in_flight = Some((site, decision));
+    }
+
     /// Feeds a completed invocation back into the scheduler. Returns `true`
     /// when the job has run all its invocations.
     pub fn on_completion(&mut self, outcome: &LoopOutcome) -> bool {
@@ -211,6 +262,7 @@ impl Tenant {
         self.sched_overhead_ns += report.sched_overhead_ns;
         self.sched.record(site, &decision, &report);
         self.next_invocation += 1;
+        self.attempt = 0;
         self.next_invocation >= self.total_invocations()
     }
 }
@@ -260,7 +312,11 @@ mod tests {
         let app = Workload::Matmul.sim_app(&t, Scale::Quick);
         let before: Vec<NodeId> = app.sites[0].tasks.iter().map(|t| t.home_node).collect();
         let confined = confine_app(app, &t, t.all_nodes());
-        let after: Vec<NodeId> = confined.sites[0].tasks.iter().map(|t| t.home_node).collect();
+        let after: Vec<NodeId> = confined.sites[0]
+            .tasks
+            .iter()
+            .map(|t| t.home_node)
+            .collect();
         assert_eq!(before, after);
     }
 
@@ -410,7 +466,9 @@ mod tests {
             }
         }
         // The merged log carries real per-invocation scheduler activity.
-        assert!(log.iter().any(|e| matches!(e.kind, EventKind::ChunkEnqueue { .. })));
+        assert!(log
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ChunkEnqueue { .. })));
         assert!(log.len() > total);
     }
 }

@@ -46,6 +46,11 @@ pub struct AuditReport {
     pub inter_node_steals: usize,
     /// Latch-release events.
     pub latch_releases: usize,
+    /// Fault-injection markers recorded by the chaos layer.
+    pub faults_injected: usize,
+    /// Workers the watchdog claimed in a stage-2 degradation (these release
+    /// no latch — the dispatcher counted down for them).
+    pub claimed_workers: usize,
 }
 
 impl AuditReport {
@@ -67,6 +72,13 @@ impl std::fmt::Display for AuditReport {
             self.latch_releases,
             self.violations.len()
         )?;
+        if self.faults_injected > 0 || self.claimed_workers > 0 {
+            write!(
+                f,
+                " faults={} claimed={}",
+                self.faults_injected, self.claimed_workers
+            )?;
+        }
         for v in &self.violations {
             write!(f, "\n  ! {v}")?;
         }
@@ -86,7 +98,9 @@ impl std::fmt::Display for AuditReport {
 /// 4. the reported migration count equals the number of inter-node-steal
 ///    events;
 /// 5. exactly one latch release per active worker, as that worker's final
-///    event;
+///    event — minus workers a stage-2 [`Degraded`](EventKind::Degraded)
+///    event claimed (the dispatcher counts those down itself, so they
+///    legitimately release nothing);
 /// 6. the reported per-node task (and, for the native runtime, locality)
 ///    counts match the chunk-end events.
 pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
@@ -103,7 +117,10 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
     // --- 1. Per-worker sequence monotonicity -----------------------------
     let mut per_worker: HashMap<u32, Vec<(u64, u64)>> = HashMap::new(); // worker -> (seq, time)
     for e in log.iter() {
-        per_worker.entry(e.worker).or_default().push((e.seq, e.time_ns));
+        per_worker
+            .entry(e.worker)
+            .or_default()
+            .push((e.seq, e.time_ns));
     }
     for (worker, stream) in &mut per_worker {
         stream.sort_unstable();
@@ -126,7 +143,7 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
     let mut enqueued: HashMap<u32, (u32, bool)> = HashMap::new(); // chunk -> (home, strict)
     let mut started: HashMap<u32, (u32, u32, u64, u64)> = HashMap::new(); // chunk -> (worker, node, seq, time)
     let mut ended: HashMap<u32, (u32, u64)> = HashMap::new(); // chunk -> (worker, time)
-    // (worker, chunk) -> seq of latest acquisition.
+                                                              // (worker, chunk) -> seq of latest acquisition.
     let mut acquired: HashMap<(u32, u32), u64> = HashMap::new();
     let mut latch_last: HashMap<u32, u64> = HashMap::new(); // worker -> latch seq
     let mut max_seq: HashMap<u32, u64> = HashMap::new();
@@ -141,7 +158,10 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
                 strict,
             } => {
                 if e.worker != DISPATCHER {
-                    v.push(format!("chunk {chunk}: enqueued by worker {}, not the dispatcher", e.worker));
+                    v.push(format!(
+                        "chunk {chunk}: enqueued by worker {}, not the dispatcher",
+                        e.worker
+                    ));
                 }
                 if enqueued.insert(chunk, (home, strict)).is_some() {
                     v.push(format!("chunk {chunk}: enqueued more than once"));
@@ -163,7 +183,9 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
                 report.inter_node_steals += 1;
                 acquired.insert((e.worker, chunk), e.seq);
                 if let Some(&(_, true)) = enqueued.get(&chunk) {
-                    v.push(format!("chunk {chunk}: NUMA-strict but crossed nodes in a steal"));
+                    v.push(format!(
+                        "chunk {chunk}: NUMA-strict but crossed nodes in a steal"
+                    ));
                 }
             }
             EventKind::ChunkStart { chunk } => {
@@ -189,10 +211,30 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
             EventKind::LatchRelease => {
                 report.latch_releases += 1;
                 if latch_last.insert(e.worker, e.seq).is_some() {
-                    v.push(format!("worker {}: released the latch more than once", e.worker));
+                    v.push(format!(
+                        "worker {}: released the latch more than once",
+                        e.worker
+                    ));
                 }
             }
             EventKind::ExplorationDecision { .. } => {}
+            EventKind::FaultInjected { .. } => {
+                report.faults_injected += 1;
+            }
+            EventKind::Degraded { stage, count } => {
+                if e.worker != DISPATCHER {
+                    v.push(format!(
+                        "degradation stage {stage} emitted by worker {}, not the dispatcher",
+                        e.worker
+                    ));
+                }
+                if stage == 0 || stage > 2 {
+                    v.push(format!("degradation with unknown stage {stage}"));
+                }
+                if stage == 2 {
+                    report.claimed_workers += count as usize;
+                }
+            }
         }
     }
 
@@ -245,10 +287,11 @@ pub fn audit(log: &EventLog, expect: &AuditExpect) -> AuditReport {
 
     // --- 5. Latch balance -------------------------------------------------
     if let Some(threads) = expect.latch_releases {
-        if report.latch_releases != threads {
+        let expected = threads.saturating_sub(report.claimed_workers);
+        if report.latch_releases != expected {
             v.push(format!(
-                "{} latch releases for {threads} active workers",
-                report.latch_releases
+                "{} latch releases for {threads} active workers ({} claimed by the watchdog)",
+                report.latch_releases, report.claimed_workers
             ));
         }
     }
@@ -328,8 +371,28 @@ mod tests {
     fn clean_log() -> EventLog {
         EventLog::from_events(
             vec![
-                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: true }),
-                ev(1, DISPATCHER, 1, 0, EventKind::ChunkEnqueue { chunk: 1, home: 1, strict: false }),
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 0,
+                        strict: true,
+                    },
+                ),
+                ev(
+                    1,
+                    DISPATCHER,
+                    1,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 1,
+                        home: 1,
+                        strict: false,
+                    },
+                ),
                 ev(0, 0, 0, 10, EventKind::LocalPop { chunk: 0 }),
                 ev(1, 0, 0, 12, EventKind::ChunkStart { chunk: 0 }),
                 ev(2, 0, 0, 40, EventKind::ChunkEnd { chunk: 0 }),
@@ -350,8 +413,14 @@ mod tests {
             migrations: Some(1),
             latch_releases: Some(2),
             per_node: Some(vec![
-                NodeTally { tasks: 2, local_tasks: Some(1) },
-                NodeTally { tasks: 0, local_tasks: Some(0) },
+                NodeTally {
+                    tasks: 2,
+                    local_tasks: Some(1),
+                },
+                NodeTally {
+                    tasks: 0,
+                    local_tasks: Some(0),
+                },
             ]),
         }
     }
@@ -377,7 +446,17 @@ mod tests {
     fn strict_chunk_off_home_is_flagged() {
         let log = EventLog::from_events(
             vec![
-                ev(0, DISPATCHER, 1, 0, EventKind::ChunkEnqueue { chunk: 0, home: 1, strict: true }),
+                ev(
+                    0,
+                    DISPATCHER,
+                    1,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 1,
+                        strict: true,
+                    },
+                ),
                 ev(0, 0, 0, 5, EventKind::InterNodeSteal { chunk: 0, from: 1 }),
                 ev(1, 0, 0, 6, EventKind::ChunkStart { chunk: 0 }),
                 ev(2, 0, 0, 9, EventKind::ChunkEnd { chunk: 0 }),
@@ -394,7 +473,17 @@ mod tests {
     fn lost_chunk_and_seq_gap_are_flagged() {
         let log = EventLog::from_events(
             vec![
-                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: false }),
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 0,
+                        strict: false,
+                    },
+                ),
                 // seq jumps 0 -> 2: a gap.
                 ev(2, 0, 0, 10, EventKind::LatchRelease),
             ],
@@ -411,7 +500,17 @@ mod tests {
     fn double_execution_is_flagged() {
         let log = EventLog::from_events(
             vec![
-                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: false }),
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 0,
+                        strict: false,
+                    },
+                ),
                 ev(0, 0, 0, 1, EventKind::LocalPop { chunk: 0 }),
                 ev(1, 0, 0, 2, EventKind::ChunkStart { chunk: 0 }),
                 ev(2, 0, 0, 3, EventKind::ChunkEnd { chunk: 0 }),
@@ -424,8 +523,136 @@ mod tests {
             0,
         );
         let r = audit(&log, &AuditExpect::default());
-        assert!(r.violations.iter().any(|m| m.contains("started more than once")));
-        assert!(r.violations.iter().any(|m| m.contains("ended more than once")));
+        assert!(r
+            .violations
+            .iter()
+            .any(|m| m.contains("started more than once")));
+        assert!(r
+            .violations
+            .iter()
+            .any(|m| m.contains("ended more than once")));
+    }
+
+    #[test]
+    fn degraded_drain_balances_the_latch() {
+        use crate::event::FaultTag;
+        // Worker 1 is permanently stalled; the watchdog claims it (stage 2)
+        // and the dispatcher drains its chunk, attributed to the chunk's
+        // home node. Worker 1 releases no latch — the Degraded count covers
+        // the gap, so the audit must stay clean.
+        let log = EventLog::from_events(
+            vec![
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 0,
+                        strict: false,
+                    },
+                ),
+                ev(
+                    1,
+                    DISPATCHER,
+                    1,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 1,
+                        home: 1,
+                        strict: true,
+                    },
+                ),
+                ev(
+                    2,
+                    DISPATCHER,
+                    1,
+                    1,
+                    EventKind::FaultInjected {
+                        fault: FaultTag::WorkerStall,
+                        target: 1,
+                    },
+                ),
+                ev(0, 0, 0, 10, EventKind::LocalPop { chunk: 0 }),
+                ev(1, 0, 0, 12, EventKind::ChunkStart { chunk: 0 }),
+                ev(2, 0, 0, 40, EventKind::ChunkEnd { chunk: 0 }),
+                ev(3, 0, 0, 45, EventKind::LatchRelease),
+                ev(
+                    3,
+                    DISPATCHER,
+                    0,
+                    50,
+                    EventKind::Degraded { stage: 2, count: 1 },
+                ),
+                ev(4, DISPATCHER, 1, 55, EventKind::LocalPop { chunk: 1 }),
+                ev(5, DISPATCHER, 1, 56, EventKind::ChunkStart { chunk: 1 }),
+                ev(6, DISPATCHER, 1, 90, EventKind::ChunkEnd { chunk: 1 }),
+            ],
+            2,
+            2,
+            0,
+        );
+        let e = AuditExpect {
+            migrations: Some(0),
+            latch_releases: Some(2),
+            per_node: Some(vec![
+                NodeTally {
+                    tasks: 1,
+                    local_tasks: Some(1),
+                },
+                NodeTally {
+                    tasks: 1,
+                    local_tasks: Some(1),
+                },
+            ]),
+        };
+        let r = audit(&log, &e);
+        assert!(r.ok(), "unexpected violations: {r}");
+        assert_eq!(r.claimed_workers, 1);
+        assert_eq!(r.faults_injected, 1);
+        assert_eq!(r.latch_releases, 1);
+    }
+
+    #[test]
+    fn degraded_from_a_worker_is_flagged() {
+        let log = EventLog::from_events(
+            vec![ev(0, 0, 0, 1, EventKind::Degraded { stage: 1, count: 0 })],
+            1,
+            1,
+            0,
+        );
+        let r = audit(&log, &AuditExpect::default());
+        assert!(r
+            .violations
+            .iter()
+            .any(|m| m.contains("not the dispatcher")));
+    }
+
+    #[test]
+    fn missing_latch_without_claim_is_still_flagged() {
+        // A stage-1 degradation does not excuse a missing latch release.
+        let log = EventLog::from_events(
+            vec![
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::Degraded { stage: 1, count: 0 },
+                ),
+                ev(0, 0, 0, 5, EventKind::LatchRelease),
+            ],
+            2,
+            1,
+            0,
+        );
+        let e = AuditExpect {
+            latch_releases: Some(2),
+            ..Default::default()
+        };
+        let r = audit(&log, &e);
+        assert!(r.violations.iter().any(|m| m.contains("latch releases")));
     }
 
     #[test]

@@ -5,6 +5,34 @@
 /// pool worker.
 pub const DISPATCHER: u32 = u32::MAX;
 
+/// Which fault a [`FaultInjected`](EventKind::FaultInjected) event records.
+/// Mirrors the fault families of the `ilan-faults` plan without depending on
+/// that crate — the trace vocabulary stays dependency-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTag {
+    /// A worker was stalled (delayed or permanently parked) before it could
+    /// participate in the invocation.
+    WorkerStall,
+    /// A node's chunk executions run under a slowdown multiplier.
+    SlowNode,
+    /// A targeted wakeup post was deliberately not delivered.
+    DroppedWakeup,
+    /// A remote steal sweep was refused by the injected policy.
+    StealRefusal,
+}
+
+impl FaultTag {
+    /// Stable lowercase label for exporters and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultTag::WorkerStall => "worker-stall",
+            FaultTag::SlowNode => "slow-node",
+            FaultTag::DroppedWakeup => "dropped-wakeup",
+            FaultTag::StealRefusal => "steal-refusal",
+        }
+    }
+}
+
 /// What happened. Acquisition events encode the *locality outcome* of taking
 /// a chunk, not the queue it physically came through: any acquisition (or
 /// batch transfer, in the simulator) that moves a chunk across NUMA nodes is
@@ -63,6 +91,26 @@ pub enum EventKind {
         /// Thread count of the decision (0 = not a hierarchical decision).
         threads: u32,
     },
+    /// The chaos layer injected a fault into this invocation. Emitted on the
+    /// dispatcher's ring at dispatch time (stalls, dropped wakeups, slow
+    /// nodes) or by the affected worker (steal refusals).
+    FaultInjected {
+        /// Which fault family fired.
+        fault: FaultTag,
+        /// The worker (stall, wakeup, refusal) or node (slow-node) the
+        /// fault targets.
+        target: u32,
+    },
+    /// The dispatcher's watchdog escalated a stalled invocation. Stage 1
+    /// re-broadcasts wakeups to every active worker; stage 2 claims `count`
+    /// never-started workers and drains their chunks on the dispatcher so
+    /// the taskloop still completes (degraded but correct).
+    Degraded {
+        /// Escalation stage (1 = broadcast re-post, 2 = claim-and-drain).
+        stage: u32,
+        /// Workers affected (stage 2: slots the dispatcher claimed).
+        count: u32,
+    },
 }
 
 impl EventKind {
@@ -75,7 +123,10 @@ impl EventKind {
             | EventKind::InterNodeSteal { chunk, .. }
             | EventKind::ChunkStart { chunk }
             | EventKind::ChunkEnd { chunk } => Some(chunk),
-            EventKind::LatchRelease | EventKind::ExplorationDecision { .. } => None,
+            EventKind::LatchRelease
+            | EventKind::ExplorationDecision { .. }
+            | EventKind::FaultInjected { .. }
+            | EventKind::Degraded { .. } => None,
         }
     }
 

@@ -30,6 +30,6 @@ mod log;
 mod ring;
 
 pub use audit::{audit, AuditExpect, AuditReport, NodeTally};
-pub use event::{Event, EventKind, DISPATCHER};
+pub use event::{Event, EventKind, FaultTag, DISPATCHER};
 pub use log::EventLog;
 pub use ring::{EventRing, Recorder, TraceSet};

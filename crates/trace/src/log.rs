@@ -61,9 +61,9 @@ impl EventLog {
 
     /// Appends a single pre-stamped event (the caller maintains `seq`).
     pub fn push_event(&mut self, event: Event) {
-        let idx = self
-            .events
-            .partition_point(|e| (e.time_ns, e.worker, e.seq) <= (event.time_ns, event.worker, event.seq));
+        let idx = self.events.partition_point(|e| {
+            (e.time_ns, e.worker, e.seq) <= (event.time_ns, event.worker, event.seq)
+        });
         self.events.insert(idx, event);
     }
 
@@ -275,6 +275,28 @@ impl EventLog {
                         e.node
                     );
                 }
+                EventKind::FaultInjected { fault, target } => {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"fault: {}\",\"cat\":\"chaos\",\"ph\":\"i\",\"s\":\"g\",\
+                         \"pid\":{},\"tid\":{tid},\"ts\":{ts},\
+                         \"args\":{{\"fault\":\"{}\",\"target\":{target}}}}}",
+                        fault.label(),
+                        e.node,
+                        fault.label()
+                    );
+                }
+                EventKind::Degraded { stage, count } => {
+                    sep(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"degraded (stage {stage})\",\"cat\":\"chaos\",\"ph\":\"i\",\
+                         \"s\":\"g\",\"pid\":{},\"tid\":{tid},\"ts\":{ts},\
+                         \"args\":{{\"stage\":{stage},\"claimed\":{count}}}}}",
+                        e.node
+                    );
+                }
             }
         }
         out.push_str("]}");
@@ -314,8 +336,28 @@ mod tests {
     fn sample_log() -> EventLog {
         EventLog::from_events(
             vec![
-                ev(0, DISPATCHER, 0, 0, EventKind::ChunkEnqueue { chunk: 0, home: 0, strict: true }),
-                ev(1, DISPATCHER, 1, 0, EventKind::ChunkEnqueue { chunk: 1, home: 1, strict: false }),
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 0,
+                        home: 0,
+                        strict: true,
+                    },
+                ),
+                ev(
+                    1,
+                    DISPATCHER,
+                    1,
+                    0,
+                    EventKind::ChunkEnqueue {
+                        chunk: 1,
+                        home: 1,
+                        strict: false,
+                    },
+                ),
                 ev(0, 0, 0, 10, EventKind::LocalPop { chunk: 0 }),
                 ev(1, 0, 0, 12, EventKind::ChunkStart { chunk: 0 }),
                 ev(2, 0, 0, 40, EventKind::ChunkEnd { chunk: 0 }),
@@ -335,9 +377,10 @@ mod tests {
     fn canonical_order_and_accessors() {
         let log = sample_log();
         assert_eq!(log.len(), 10);
-        assert!(log.iter().zip(log.iter().skip(1)).all(|(a, b)| {
-            (a.time_ns, a.worker, a.seq) <= (b.time_ns, b.worker, b.seq)
-        }));
+        assert!(log
+            .iter()
+            .zip(log.iter().skip(1))
+            .all(|(a, b)| { (a.time_ns, a.worker, a.seq) <= (b.time_ns, b.worker, b.seq) }));
         assert_eq!(log.inter_node_steals(), 1);
         assert_eq!(log.local_pops(), 1);
         assert_eq!(log.chunk_assignment(), vec![(0, 0, true), (1, 1, false)]);
@@ -365,6 +408,40 @@ mod tests {
         assert!(json.contains("\"name\":\"chunk 0\""));
         // Start 12ns → 0.012us.
         assert!(json.contains("\"ts\":0.012"));
+    }
+
+    #[test]
+    fn chrome_json_renders_chaos_events() {
+        use crate::event::FaultTag;
+        let log = EventLog::from_events(
+            vec![
+                ev(
+                    0,
+                    DISPATCHER,
+                    0,
+                    0,
+                    EventKind::FaultInjected {
+                        fault: FaultTag::DroppedWakeup,
+                        target: 3,
+                    },
+                ),
+                ev(
+                    1,
+                    DISPATCHER,
+                    0,
+                    9,
+                    EventKind::Degraded { stage: 2, count: 1 },
+                ),
+            ],
+            2,
+            1,
+            0,
+        );
+        let json = log.chrome_trace_json();
+        assert!(json.contains("fault: dropped-wakeup"));
+        assert!(json.contains("\"target\":3"));
+        assert!(json.contains("degraded (stage 2)"));
+        assert!(json.contains("\"claimed\":1"));
     }
 
     #[test]

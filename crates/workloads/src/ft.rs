@@ -318,29 +318,28 @@ pub fn fft3d_native(
         let grain = (pencils / 64).max(1);
         let re = SyncSlice::new(&mut cube.re);
         let im = SyncSlice::new(&mut cube.im);
-        let (_, rep) =
-            run_native_invocation(pool, policy, axis_site, 0..pencils, grain, |range| {
-                let mut pr = vec![0.0; n];
-                let mut pi = vec![0.0; n];
-                for l in range {
-                    let (j, k) = (l % n, l / n);
-                    for i in 0..n {
-                        // SAFETY: pencils are disjoint between chunks.
-                        unsafe {
-                            pr[i] = re.read(index(axis, i, j, k));
-                            pi[i] = im.read(index(axis, i, j, k));
-                        }
-                    }
-                    fft_row(&mut pr, &mut pi, inverse);
-                    for i in 0..n {
-                        // SAFETY: pencils are disjoint between chunks.
-                        unsafe {
-                            re.write(index(axis, i, j, k), pr[i]);
-                            im.write(index(axis, i, j, k), pi[i]);
-                        }
+        let (_, rep) = run_native_invocation(pool, policy, axis_site, 0..pencils, grain, |range| {
+            let mut pr = vec![0.0; n];
+            let mut pi = vec![0.0; n];
+            for l in range {
+                let (j, k) = (l % n, l / n);
+                for i in 0..n {
+                    // SAFETY: pencils are disjoint between chunks.
+                    unsafe {
+                        pr[i] = re.read(index(axis, i, j, k));
+                        pi[i] = im.read(index(axis, i, j, k));
                     }
                 }
-            });
+                fft_row(&mut pr, &mut pi, inverse);
+                for i in 0..n {
+                    // SAFETY: pencils are disjoint between chunks.
+                    unsafe {
+                        re.write(index(axis, i, j, k), pr[i]);
+                        im.write(index(axis, i, j, k), pi[i]);
+                    }
+                }
+            }
+        });
         stats.add(&rep);
     }
 

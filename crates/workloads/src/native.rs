@@ -113,7 +113,11 @@ pub fn run_native_app(
             let flat: Vec<f64> = blocks.u.iter().flatten().copied().collect();
             let grid_err = max_abs_diff(&parallel.u, &serial.u);
             (
-                if all_finite(&flat) { grid_err } else { f64::NAN },
+                if all_finite(&flat) {
+                    grid_err
+                } else {
+                    f64::NAN
+                },
                 1e-10,
             )
         }

@@ -49,9 +49,17 @@ fn main() {
                 summary.stats.invocations,
                 summary.stats.weighted_avg_threads(),
                 summary.check,
-                if summary.verified() { "✓" } else { "✗ FAILED" },
+                if summary.verified() {
+                    "✓"
+                } else {
+                    "✗ FAILED"
+                },
             );
-            assert!(summary.verified(), "{} failed verification", workload.name());
+            assert!(
+                summary.verified(),
+                "{} failed verification",
+                workload.name()
+            );
         }
     }
     println!("\nall benchmarks verified under every scheduler ✓");

@@ -41,12 +41,14 @@ fn main() {
     let shapes = [
         ("static work-sharing", PlacementPlan::Static),
         ("flat work-stealing (baseline)", PlacementPlan::Flat),
-        ("hierarchical + full stealing (ILAN)", build_plan(&hier, tasks.len())),
+        (
+            "hierarchical + full stealing (ILAN)",
+            build_plan(&hier, tasks.len()),
+        ),
     ];
 
     for (name, plan) in shapes {
-        let mut machine =
-            SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
+        let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 7);
         let active = match &plan {
             PlacementPlan::Hierarchical { .. } => active_cores(&topo, topo.all_nodes(), 8),
             _ => cores.clone(),

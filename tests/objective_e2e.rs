@@ -61,8 +61,7 @@ fn compute_bound_loops_are_objective_insensitive() {
     let topo = presets::epyc_9354_2s();
     for objective in [Objective::Time, Objective::Energy, Objective::EnergyDelay] {
         let app = Workload::Matmul.sim_app(&topo, Scale::Quick);
-        let mut machine =
-            SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
+        let mut machine = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 5);
         let mut ilan = IlanScheduler::new(
             ilan_suite::scheduler::IlanParams::for_topology(&topo).objective(objective),
         );

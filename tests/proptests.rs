@@ -15,8 +15,14 @@ fn kind_from(tag: u8, a: u32, b: u32) -> EventKind {
             strict: a.is_multiple_of(2),
         },
         1 => EventKind::LocalPop { chunk: a },
-        2 => EventKind::IntraNodeSteal { chunk: a, victim: b },
-        3 => EventKind::InterNodeSteal { chunk: a, from: b % 64 },
+        2 => EventKind::IntraNodeSteal {
+            chunk: a,
+            victim: b,
+        },
+        3 => EventKind::InterNodeSteal {
+            chunk: a,
+            from: b % 64,
+        },
         4 => EventKind::ChunkStart { chunk: a },
         5 => EventKind::ChunkEnd { chunk: a },
         6 => EventKind::LatchRelease,

@@ -63,8 +63,7 @@ impl Criterion {
         id: impl Into<String>,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        self.benchmark_group("")
-            .bench_function(id, f);
+        self.benchmark_group("").bench_function(id, f);
         self
     }
 }
@@ -258,7 +257,9 @@ mod tests {
     fn bencher_collects_samples() {
         let mut c = Criterion { measure: true };
         let mut group = c.benchmark_group("t");
-        group.sample_size(5).measurement_time(Duration::from_millis(50));
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
         let mut n = 0u64;
         group.bench_function("iter", |b| b.iter(|| n += 1));
         group.bench_function("custom", |b| {

@@ -48,7 +48,8 @@ pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
 /// the upstream crate.
 #[allow(clippy::missing_safety_doc)]
 pub unsafe fn CPU_ISSET(cpu: usize, cpuset: &cpu_set_t) -> bool {
-    cpu < CPU_SETSIZE as usize && cpuset.bits[cpu / ULONG_BITS] & (1usize << (cpu % ULONG_BITS)) != 0
+    cpu < CPU_SETSIZE as usize
+        && cpuset.bits[cpu / ULONG_BITS] & (1usize << (cpu % ULONG_BITS)) != 0
 }
 
 #[cfg(target_os = "linux")]
@@ -64,7 +65,11 @@ extern "C" {
 /// Safe in this implementation; declared `unsafe` for signature parity.
 #[cfg(not(target_os = "linux"))]
 #[allow(clippy::missing_safety_doc)]
-pub unsafe fn sched_setaffinity(_pid: pid_t, _cpusetsize: size_t, _cpuset: *const cpu_set_t) -> c_int {
+pub unsafe fn sched_setaffinity(
+    _pid: pid_t,
+    _cpusetsize: size_t,
+    _cpuset: *const cpu_set_t,
+) -> c_int {
     -1
 }
 
@@ -97,7 +102,10 @@ mod tests {
         unsafe {
             CPU_SET(0, &mut set);
             // CPU 0 exists on any machine running this test.
-            assert_eq!(sched_setaffinity(0, std::mem::size_of::<cpu_set_t>(), &set), 0);
+            assert_eq!(
+                sched_setaffinity(0, std::mem::size_of::<cpu_set_t>(), &set),
+                0
+            );
         }
     }
 }

@@ -1,0 +1,680 @@
+//! Offline stand-in for the `loom` model checker (see `vendor/README.md`).
+//!
+//! Real loom explores all interleavings of a concurrent test under the C11
+//! memory model. This stand-in implements the subset the workspace needs:
+//! bounded exhaustive exploration of **sequentially consistent**
+//! interleavings with `std::thread`-style park/unpark token semantics and
+//! deadlock detection.
+//!
+//! How it works: inside [`model`], every model thread runs on its own OS
+//! thread but only one is ever runnable at a time (lockstep). Each atomic
+//! operation, park, unpark, spawn, join, and yield is a *scheduling point*
+//! where the active thread picks who runs next. When more than one thread
+//! is runnable the choice is a branch point recorded on a decision path;
+//! the driver re-executes the closure depth-first over all paths (with an
+//! execution cap as a livelock backstop). If at any point every live
+//! thread is blocked, the execution fails with a deadlock report — this is
+//! exactly the "lost wakeup" shape an eventcount bug produces.
+//!
+//! Outside [`model`], every primitive delegates to `std`, so a crate
+//! compiled with `--cfg loom` still behaves normally in regular tests.
+//!
+//! Deliberate simplifications versus upstream loom:
+//! - Only sequential consistency is modelled; `Ordering` arguments are
+//!   accepted and ignored. Reordering bugs that need `Relaxed`/`Acquire`
+//!   distinctions are not found.
+//! - No modelling of `UnsafeCell` accesses, loom `Mutex`es, or lazy
+//!   statics; only atomics and thread park/unpark are scheduling points.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Execution-count backstop (the decision tree of a small model is far
+/// smaller; hitting this means the model is too big, not wrong).
+const MAX_EXECUTIONS: usize = 200_000;
+/// Per-execution scheduling-point cap: trips on livelocks such as a spin
+/// loop that never blocks.
+const MAX_STEPS: usize = 50_000;
+
+/// Panic payload used to quietly unwind model threads once an execution
+/// has already failed (deadlock or another thread's panic).
+struct Abort;
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    chosen: usize,
+    alternatives: usize,
+}
+
+enum RunState {
+    Runnable,
+    /// Parked without a token.
+    Blocked,
+    /// Waiting for thread `.0` to finish.
+    JoinWait(usize),
+    Finished,
+}
+
+struct ThreadState {
+    run: RunState,
+    /// Pending unpark token (std park/unpark semantics).
+    token: bool,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    active: usize,
+    path: Vec<Choice>,
+    depth: usize,
+    steps: usize,
+    failure: Option<String>,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+impl Scheduler {
+    fn new(path: Vec<Choice>) -> Scheduler {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                threads: vec![ThreadState { run: RunState::Runnable, token: false }],
+                active: 0,
+                path,
+                depth: 0,
+                steps: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Chooses the next active thread. Called with the state locked, at
+    /// every scheduling point. Multi-way choices are recorded on (or
+    /// replayed from) the decision path.
+    fn pick_next_locked(&self, st: &mut SchedState) {
+        st.steps += 1;
+        if st.steps > MAX_STEPS && st.failure.is_none() {
+            st.failure = Some(format!(
+                "exceeded {MAX_STEPS} scheduling points in one execution (livelock?)"
+            ));
+        }
+        if st.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, RunState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if !st.threads.iter().all(|t| matches!(t.run, RunState::Finished)) {
+                let blocked: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t.run, RunState::Finished))
+                    .map(|(i, _)| i)
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: threads {blocked:?} are blocked and nothing can wake them"
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let idx = if runnable.len() == 1 {
+            0
+        } else if st.depth < st.path.len() {
+            let c = st.path[st.depth];
+            debug_assert_eq!(
+                c.alternatives,
+                runnable.len(),
+                "nondeterministic replay: runnable set changed under a fixed prefix"
+            );
+            st.depth += 1;
+            c.chosen.min(runnable.len() - 1)
+        } else {
+            st.path.push(Choice { chosen: 0, alternatives: runnable.len() });
+            st.depth += 1;
+            0
+        };
+        st.active = runnable[idx];
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling model thread until it is scheduled again. Panics
+    /// with [`Abort`] if the execution failed meanwhile.
+    fn wait_scheduled(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == me && matches!(st.threads[me].run, RunState::Runnable) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// First schedule of a thread; returns true if the execution already
+    /// failed (the thread then skips its body).
+    fn wait_first(&self, me: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.failure.is_some() {
+                return true;
+            }
+            if st.active == me {
+                return false;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// A plain scheduling point: offer the scheduler a chance to switch.
+    fn switch(&self, me: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            self.pick_next_locked(&mut st);
+        }
+        self.wait_scheduled(me);
+    }
+
+    fn park(&self, me: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.threads[me].token {
+                st.threads[me].token = false;
+            } else {
+                st.threads[me].run = RunState::Blocked;
+            }
+            self.pick_next_locked(&mut st);
+        }
+        self.wait_scheduled(me);
+    }
+
+    fn unpark(&self, target: usize) {
+        let mut st = self.state.lock().unwrap();
+        match st.threads[target].run {
+            RunState::Blocked => st.threads[target].run = RunState::Runnable,
+            RunState::Finished => {}
+            _ => st.threads[target].token = true,
+        }
+        drop(st);
+        // Unparking from a model thread is itself a scheduling point.
+        if let Some((sched, me)) = context() {
+            if std::ptr::eq(Arc::as_ptr(&sched), self as *const Scheduler) {
+                sched.switch(me);
+            }
+        }
+    }
+
+    fn join_wait(&self, me: usize, target: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if !matches!(st.threads[target].run, RunState::Finished) {
+                st.threads[me].run = RunState::JoinWait(target);
+            }
+            self.pick_next_locked(&mut st);
+        }
+        self.wait_scheduled(me);
+    }
+
+    fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me].run = RunState::Finished;
+        for t in st.threads.iter_mut() {
+            if matches!(t.run, RunState::JoinWait(t2) if t2 == me) {
+                t.run = RunState::Runnable;
+            }
+        }
+        self.pick_next_locked(&mut st);
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, msg: String) {
+        let mut st = self.state.lock().unwrap();
+        st.failure.get_or_insert(msg);
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.threads.iter().all(|t| matches!(t.run, RunState::Finished)) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// A scheduling point for whatever model thread is calling, if any.
+fn sched_point() {
+    if let Some((sched, me)) = context() {
+        sched.switch(me);
+    }
+}
+
+/// Runs `f` under every distinguishable sequentially consistent
+/// interleaving of its model threads (depth-first over scheduling
+/// decisions, bounded by an execution cap). Panics — with the original
+/// message — if any execution panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut path: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = Arc::new(Scheduler::new(path));
+        let s2 = Arc::clone(&sched);
+        let f2 = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), 0)));
+            if !s2.wait_first(0) {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f2())) {
+                    if !p.is::<Abort>() {
+                        s2.fail(panic_message(p.as_ref()));
+                    }
+                }
+            }
+            s2.finish(0);
+        });
+        sched.wait_all_finished();
+        let _ = root.join();
+        let st = sched.state.lock().unwrap();
+        if let Some(msg) = &st.failure {
+            panic!("loom model failed on execution {executions}: {msg}");
+        }
+        path = st.path.clone();
+        drop(st);
+        // Odometer: advance the deepest choice that still has an
+        // unexplored alternative; drop everything beneath it.
+        loop {
+            match path.last_mut() {
+                None => return, // tree fully explored
+                Some(c) if c.chosen + 1 < c.alternatives => {
+                    c.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        }
+        if executions >= MAX_EXECUTIONS {
+            eprintln!("loom stand-in: exploration capped at {MAX_EXECUTIONS} executions");
+            return;
+        }
+    }
+}
+
+pub mod thread {
+    //! Model-aware mirror of `std::thread`.
+
+    use super::*;
+
+    /// Handle to a (model or OS) thread, supporting [`unpark`](Thread::unpark).
+    #[derive(Clone)]
+    pub struct Thread(ThreadInner);
+
+    #[derive(Clone)]
+    enum ThreadInner {
+        Std(std::thread::Thread),
+        Model { sched: Arc<Scheduler>, id: usize },
+    }
+
+    impl Thread {
+        /// Delivers an unpark token to the thread.
+        pub fn unpark(&self) {
+            match &self.0 {
+                ThreadInner::Std(t) => t.unpark(),
+                ThreadInner::Model { sched, id } => sched.unpark(*id),
+            }
+        }
+    }
+
+    /// The current thread's handle.
+    pub fn current() -> Thread {
+        match context() {
+            None => Thread(ThreadInner::Std(std::thread::current())),
+            Some((sched, id)) => Thread(ThreadInner::Model { sched, id }),
+        }
+    }
+
+    /// Parks the current thread until an unpark token arrives (a model
+    /// scheduling point; spurious wakeups never happen inside a model).
+    pub fn park() {
+        match context() {
+            None => std::thread::park(),
+            Some((sched, me)) => sched.park(me),
+        }
+    }
+
+    /// Parks with a timeout. Inside a model the timeout is treated as
+    /// elapsing immediately (time is not modelled); a pending token is
+    /// still consumed.
+    pub fn park_timeout(dur: std::time::Duration) {
+        match context() {
+            None => std::thread::park_timeout(dur),
+            Some((sched, me)) => {
+                {
+                    let mut st = sched.state.lock().unwrap();
+                    if st.threads[me].token {
+                        st.threads[me].token = false;
+                    }
+                }
+                sched.switch(me);
+            }
+        }
+    }
+
+    /// Yields; inside a model this is a plain scheduling point.
+    pub fn yield_now() {
+        match context() {
+            None => std::thread::yield_now(),
+            Some((sched, me)) => sched.switch(me),
+        }
+    }
+
+    /// Owned handle for joining a spawned thread.
+    pub struct JoinHandle<T>(JoinInner<T>);
+
+    enum JoinInner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model { sched: Arc<Scheduler>, id: usize, result: Arc<Mutex<Option<T>>> },
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                JoinInner::Std(h) => h.join(),
+                JoinInner::Model { sched, id, result } => {
+                    let me = context().expect("join called off-model").1;
+                    sched.join_wait(me, id);
+                    match result.lock().unwrap().take() {
+                        Some(v) => Ok(v),
+                        // The child panicked; the execution already failed,
+                        // so unwind this thread quietly too.
+                        None => std::panic::panic_any(Abort),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread. Inside a model the new thread becomes part of the
+    /// explored interleaving; outside it is a plain `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match context() {
+            None => JoinHandle(JoinInner::Std(std::thread::spawn(f))),
+            Some((sched, me)) => {
+                let id = {
+                    let mut st = sched.state.lock().unwrap();
+                    st.threads.push(ThreadState { run: RunState::Runnable, token: false });
+                    st.threads.len() - 1
+                };
+                let result = Arc::new(Mutex::new(None));
+                let r2 = Arc::clone(&result);
+                let s2 = Arc::clone(&sched);
+                std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&s2), id)));
+                    if !s2.wait_first(id) {
+                        match catch_unwind(AssertUnwindSafe(f)) {
+                            Ok(v) => *r2.lock().unwrap() = Some(v),
+                            Err(p) => {
+                                if !p.is::<Abort>() {
+                                    s2.fail(panic_message(p.as_ref()));
+                                }
+                            }
+                        }
+                    }
+                    s2.finish(id);
+                });
+                sched.switch(me);
+                JoinHandle(JoinInner::Model { sched, id, result })
+            }
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware mirror of `std::sync` (atomics only; `Arc` is std's).
+
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Atomics whose every operation is a model scheduling point.
+        //!
+        //! All operations execute with sequentially consistent semantics
+        //! regardless of the `Ordering` passed (see the crate docs).
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stand_in {
+            ($(#[$doc:meta])* $name:ident, $std:ty, $t:ty) => {
+                $(#[$doc])*
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub fn new(v: $t) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Loads the value (scheduling point).
+                    pub fn load(&self, _order: Ordering) -> $t {
+                        crate::sched_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Stores `v` (scheduling point).
+                    pub fn store(&self, v: $t, _order: Ordering) {
+                        crate::sched_point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Swaps in `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn swap(&self, v: $t, _order: Ordering) -> $t {
+                        crate::sched_point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Adds `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_add(&self, v: $t, _order: Ordering) -> $t {
+                        crate::sched_point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Subtracts `v`, returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_sub(&self, v: $t, _order: Ordering) -> $t {
+                        crate::sched_point();
+                        self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Compare-and-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        crate::sched_point();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        atomic_stand_in!(
+            /// Model-aware `AtomicU32`.
+            AtomicU32,
+            std::sync::atomic::AtomicU32,
+            u32
+        );
+        atomic_stand_in!(
+            /// Model-aware `AtomicU64`.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        atomic_stand_in!(
+            /// Model-aware `AtomicUsize`.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+
+        /// Model-aware `AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic flag.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Loads the flag (scheduling point).
+            pub fn load(&self, _order: Ordering) -> bool {
+                crate::sched_point();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Stores the flag (scheduling point).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                crate::sched_point();
+                self.0.store(v, Ordering::SeqCst)
+            }
+
+            /// Swaps the flag (scheduling point).
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                crate::sched_point();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::*;
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // Two threads racing to set a cell: across all interleavings both
+        // final values must be observed, proving the explorer actually
+        // branches rather than replaying one schedule.
+        use std::sync::atomic::AtomicU32 as HostAtomic;
+        let seen = Arc::new(HostAtomic::new(0));
+        let seen2 = Arc::clone(&seen);
+        model(move || {
+            let cell = sync::Arc::new(AtomicU64::new(0));
+            let c2 = sync::Arc::clone(&cell);
+            let h = thread::spawn(move || c2.store(1, Ordering::SeqCst));
+            cell.store(2, Ordering::SeqCst);
+            h.join().unwrap();
+            let last = cell.load(Ordering::SeqCst) as u32;
+            seen2.fetch_or(1 << last, std::sync::atomic::Ordering::SeqCst);
+        });
+        let mask = seen.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(mask, (1 << 1) | (1 << 2), "missed an interleaving: mask={mask:#x}");
+    }
+
+    #[test]
+    fn unpark_before_park_leaves_token() {
+        model(|| {
+            let h = thread::spawn(|| {
+                let me = thread::current();
+                me.unpark(); // token
+                thread::park(); // consumes it, returns immediately
+            });
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn reports_deadlock_on_lost_wakeup() {
+        model(|| {
+            // Park with no unparker in sight: every interleaving deadlocks.
+            thread::park();
+        });
+    }
+
+    #[test]
+    fn eventcount_protocol_has_no_lost_wakeup() {
+        // The announce-then-recheck protocol SleepSlot uses, reduced to its
+        // bones. If the recheck were missing, some interleaving would park
+        // after missing the post and the join would deadlock — which the
+        // explorer reports. With the recheck, every interleaving finishes.
+        model(|| {
+            let epoch = sync::Arc::new(AtomicU64::new(0));
+            let parked = sync::Arc::new(AtomicU64::new(0));
+            let handle = sync::Arc::new(std::sync::Mutex::new(None::<thread::Thread>));
+            let (e2, p2, h2) =
+                (sync::Arc::clone(&epoch), sync::Arc::clone(&parked), sync::Arc::clone(&handle));
+            let waiter = thread::spawn(move || {
+                *h2.lock().unwrap() = Some(thread::current());
+                loop {
+                    if e2.load(Ordering::SeqCst) != 0 {
+                        return;
+                    }
+                    p2.store(1, Ordering::SeqCst);
+                    if e2.load(Ordering::SeqCst) != 0 {
+                        p2.store(0, Ordering::SeqCst);
+                        return;
+                    }
+                    thread::park();
+                    p2.store(0, Ordering::SeqCst);
+                }
+            });
+            epoch.store(1, Ordering::SeqCst);
+            if parked.swap(0, Ordering::SeqCst) == 1 {
+                // Seeing `parked == 1` means the waiter already published
+                // its handle (program order), so the lock always holds it.
+                handle.lock().unwrap().as_ref().unwrap().unpark();
+            }
+            waiter.join().unwrap();
+        });
+    }
+}

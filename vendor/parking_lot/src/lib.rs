@@ -26,7 +26,9 @@ impl<T> Mutex<T> {
 
     /// Consumes the mutex, returning the underlying data.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -52,9 +54,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Returns a mutable reference to the underlying data (no locking
     /// needed: the exclusive borrow guarantees exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -110,6 +110,26 @@ impl Condvar {
         }
     }
 
+    /// Like [`wait`](Self::wait), but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] reporting whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        // SAFETY: same guard move-out/write-back protocol as `wait` above;
+        // `wait_timeout` also only unwinds on poisoning, which is recovered.
+        unsafe {
+            let inner = std::ptr::read(&guard.inner);
+            let (inner, res) = self
+                .inner
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(&mut guard.inner, inner);
+            WaitTimeoutResult(res.timed_out())
+        }
+    }
+
     /// Wakes one blocked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -118,6 +138,18 @@ impl Condvar {
     /// Wakes all blocked waiters.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Whether a timed wait returned because of a timeout (parking_lot's
+/// `WaitTimeoutResult` shape).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timing out rather than by a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -141,6 +173,15 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let res = c.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
     }
 
     #[test]
