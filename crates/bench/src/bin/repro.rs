@@ -11,7 +11,10 @@
 //! (work-sharing comparison), `table1` (variance), `colo` (multi-tenant
 //! co-scheduling: one job stream under three sharing policies), `chaos`
 //! (fault-injection conformance: the seeded chaos sweep, the native-vs-sim
-//! differential placement oracle, and a faulty serving run), `all`.
+//! differential placement oracle, and a faulty serving run), `metrics`
+//! (observability overhead: metrics-on vs metrics-off dispatch latency plus
+//! the flight-recorder smoke, written to `BENCH_metrics_overhead.json`),
+//! `all`.
 //!
 //! Options: `--runs N` (default 30, the paper's repetition count),
 //! `--quick` (scaled-down workloads for a fast smoke pass),
@@ -37,7 +40,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|trace|chaos|all> \
+    "usage: repro <fig2|fig3|fig4|fig5|fig6|table1|sites|converge|bandwidth|colo|trace|chaos|metrics|all> \
      [--runs N] [--quick] [--out DIR] [--topology zen4|rome|xeon|SxNxC[:ccd=K]] \
      [--jobs N] [--seed S]"
 }
@@ -116,6 +119,7 @@ fn main() -> ExitCode {
         "colo",
         "trace",
         "chaos",
+        "metrics",
         "all",
     ];
     if !valid.contains(&args.artifact.as_str()) {
@@ -165,6 +169,18 @@ fn main() -> ExitCode {
             std::fs::write(&path, format!("{summary}\n")).expect("write chaos summary");
             eprintln!("wrote {}", path.display());
         }
+        return ExitCode::SUCCESS;
+    }
+    if args.artifact == "metrics" {
+        // Observability overhead: metrics-on vs metrics-off dispatch latency
+        // on the 64-worker preset, plus the flight-recorder smoke. Always a
+        // measurement on the paper preset, regardless of --topology. Writes
+        // BENCH_metrics_overhead.json (under --out when given).
+        let report = ilan_bench::metrics_overhead(args.scale == Scale::Quick);
+        print!(
+            "{}",
+            report.publish(args.scale == Scale::Quick, args.out.as_deref())
+        );
         return ExitCode::SUCCESS;
     }
     if args.artifact == "colo" {

@@ -54,6 +54,7 @@
 pub mod algorithm1;
 mod config;
 pub mod driver;
+pub mod metrics;
 pub mod nodemask;
 mod objective;
 mod policy;
@@ -66,6 +67,7 @@ pub mod trace;
 
 pub use config::Decision;
 pub use ilan_runtime::StealPolicy;
+pub use metrics::SchedulerMetrics;
 pub use objective::Objective;
 pub use policy::{BaselinePolicy, FixedPolicy, Policy, WorkSharingPolicy};
 pub use report::TaskloopReport;

@@ -17,6 +17,7 @@
 
 use crate::algorithm1::{select_threads, SelectionInput};
 use crate::config::Decision;
+use crate::metrics::SchedulerMetrics;
 use crate::nodemask::select_mask_within;
 use crate::policy::Policy;
 use crate::ptt::Ptt;
@@ -159,6 +160,10 @@ pub struct IlanScheduler {
     params: IlanParams,
     ptt: Ptt,
     sites: HashMap<SiteId, SiteState>,
+    metrics: Option<SchedulerMetrics>,
+    /// Sites seeded Settled by [`with_warm_ptt`](Self::with_warm_ptt),
+    /// reported to the metrics layer when one is attached.
+    warm_sites: usize,
 }
 
 impl IlanScheduler {
@@ -184,6 +189,8 @@ impl IlanScheduler {
             params,
             ptt: Ptt::new(),
             sites: HashMap::new(),
+            metrics: None,
+            warm_sites: 0,
         }
     }
 
@@ -218,7 +225,38 @@ impl IlanScheduler {
                 },
             );
         }
+        s.warm_sites = s.sites.len();
         s
+    }
+
+    /// Attaches scheduler instruments. Warm-started sites are reported
+    /// immediately and the phase gauges are initialized from the current
+    /// site census; all later `decide`/`record` calls keep them current.
+    pub fn attach_metrics(&mut self, metrics: SchedulerMetrics) {
+        metrics.note_warm_sites(self.warm_sites);
+        self.metrics = Some(metrics);
+        self.update_phase_gauges();
+    }
+
+    /// The attached instruments, if any.
+    pub fn metrics(&self) -> Option<&SchedulerMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Recounts sites per phase into the lifecycle gauges. O(sites) — the
+    /// census is recomputed rather than maintained incrementally so the
+    /// gauges cannot drift from the `sites` map.
+    fn update_phase_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let (mut searching, mut trial, mut settled) = (0, 0, 0);
+        for s in self.sites.values() {
+            match s.phase {
+                SearchPhase::Searching => searching += 1,
+                SearchPhase::StealTrial => trial += 1,
+                SearchPhase::Settled => settled += 1,
+            }
+        }
+        m.set_phase_counts(searching, trial, settled);
     }
 
     /// Read access to the Performance Trace Table.
@@ -384,9 +422,14 @@ impl FastestMean for crate::ptt::SiteTable {
 
 impl Policy for IlanScheduler {
     fn decide(&mut self, site: SiteId) -> Decision {
+        if let Some(m) = &self.metrics {
+            let hit = matches!(self.sites.get(&site), Some(s) if s.phase == SearchPhase::Settled);
+            m.note_decide(hit);
+        }
         if !self.sites.contains_key(&site) {
             let st = self.initial_state(site);
             self.sites.insert(site, st);
+            self.update_phase_gauges();
         }
         self.sites[&site].next.clone()
     }
@@ -415,6 +458,10 @@ impl Policy for IlanScheduler {
             .clone();
         let new_state = self.transition(site, &state, report);
         self.sites.insert(site, new_state);
+        if let Some(m) = &self.metrics {
+            m.note_ptt_record();
+        }
+        self.update_phase_gauges();
     }
 
     fn name(&self) -> &'static str {
@@ -700,6 +747,85 @@ mod tests {
         IlanScheduler::new(
             IlanParams::for_topology(&topo).restrict_to(ilan_topology::NodeMask::EMPTY),
         );
+    }
+
+    #[test]
+    fn metrics_track_lifecycle_and_decide_outcomes() {
+        use crate::metrics::SchedulerMetrics;
+        use ilan_metrics::SampleValue;
+
+        let mut s = scheduler();
+        s.attach_metrics(SchedulerMetrics::new());
+        let m = s.metrics().unwrap().clone();
+        let gauge = |phase: &str| match m
+            .registry()
+            .snapshot()
+            .get_with("ilan_sched_sites", &[("phase", phase)])
+        {
+            Some(SampleValue::Gauge(v)) => *v,
+            other => panic!("phase {phase}: {other:?}"),
+        };
+        let outcome = |o: &str| match m
+            .registry()
+            .snapshot()
+            .get_with("ilan_sched_decide", &[("outcome", o)])
+        {
+            Some(SampleValue::Counter(v)) => *v,
+            other => panic!("outcome {o}: {other:?}"),
+        };
+
+        // Drive the memory-bound search to Settled, checking the census.
+        round(&mut s, 100.0);
+        assert_eq!(gauge("searching"), 1);
+        round(&mut s, 60.0);
+        round(&mut s, 40.0);
+        round(&mut s, 45.0);
+        assert_eq!(gauge("steal_trial"), 1);
+        let trial = s.decide(SITE);
+        s.record(SITE, &trial, &TaskloopReport::synthetic(44.0, 8));
+        assert_eq!(gauge("settled"), 1);
+        assert_eq!(gauge("searching"), 0);
+        // Every decide so far hit an unsettled site; the next one hits.
+        assert_eq!(outcome("hit"), 0);
+        let misses = outcome("miss");
+        assert!(misses >= 5);
+        s.decide(SITE);
+        assert_eq!(outcome("hit"), 1);
+        assert_eq!(outcome("miss"), misses);
+        // Five reports went into the PTT: four search rounds plus the trial.
+        let snap = m.registry().snapshot();
+        assert_eq!(snap.counter_total("ilan_sched_ptt_records"), 5);
+        assert_eq!(snap.counter_total("ilan_sched_warm_started_sites"), 0);
+
+        // A warm-started scheduler reports its seeded sites on attach.
+        let mut warm = IlanScheduler::with_warm_ptt(
+            IlanParams::for_topology(&presets::epyc_9354_2s()),
+            s.ptt().clone(),
+        );
+        warm.attach_metrics(SchedulerMetrics::new());
+        let wm = warm.metrics().unwrap().clone();
+        let wsnap = wm.registry().snapshot();
+        assert_eq!(wsnap.counter_total("ilan_sched_warm_started_sites"), 1);
+        assert_eq!(
+            wsnap.get_with("ilan_sched_sites", &[("phase", "settled")]),
+            Some(&SampleValue::Gauge(1))
+        );
+        // The warm site's first decide is already a hit.
+        warm.decide(SITE);
+        assert_eq!(
+            wm.registry()
+                .snapshot()
+                .counter_total("ilan_sched_decide"),
+            1
+        );
+        match wm
+            .registry()
+            .snapshot()
+            .get_with("ilan_sched_decide", &[("outcome", "hit")])
+        {
+            Some(SampleValue::Counter(1)) => {}
+            other => panic!("warm decide must hit: {other:?}"),
+        }
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! for tests that assert on exploration sequences without re-implementing
 //! the drive loop. The wrapper is transparent: it forwards `decide`/`record`
 //! to the inner policy and appends one [`TraceEntry`] per invocation.
+//!
+//! With [`with_metrics`](RecordingPolicy::with_metrics) the same push point
+//! also feeds the per-site decision histograms of a
+//! [`crate::SchedulerMetrics`] — the trace and the metrics
+//! exposition come from one write, so they cannot disagree.
 
 use crate::config::Decision;
+use crate::metrics::SchedulerMetrics;
 use crate::policy::Policy;
 use crate::report::TaskloopReport;
 use crate::site::SiteId;
@@ -27,10 +33,7 @@ pub struct TraceEntry {
 pub struct RecordingPolicy<P> {
     inner: P,
     entries: Vec<TraceEntry>,
-    /// The last decision per pending record (sites interleave, so key by
-    /// site would be more general; in practice drivers call decide→record
-    /// in strict pairs, which `record` relies on via the decision argument).
-    _private: (),
+    metrics: Option<SchedulerMetrics>,
 }
 
 impl<P: Policy> RecordingPolicy<P> {
@@ -39,8 +42,17 @@ impl<P: Policy> RecordingPolicy<P> {
         RecordingPolicy {
             inner,
             entries: Vec::new(),
-            _private: (),
+            metrics: None,
         }
+    }
+
+    /// Also feeds each recorded invocation into `metrics`' per-site
+    /// decision histograms (builder style). The histograms are written at
+    /// the trace-entry push point, so `entries_for(site).count()` always
+    /// equals the site's histogram count.
+    pub fn with_metrics(mut self, metrics: SchedulerMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The recorded history, in invocation order.
@@ -78,6 +90,10 @@ impl<P: Policy> Policy for RecordingPolicy<P> {
     }
 
     fn record(&mut self, site: SiteId, decision: &Decision, report: &TaskloopReport) {
+        if let Some(m) = &self.metrics {
+            let threads = decision.threads().unwrap_or(report.threads);
+            m.note_invocation(site, threads, report.time_ns);
+        }
         self.entries.push(TraceEntry {
             site,
             decision: decision.clone(),
@@ -138,6 +154,57 @@ mod tests {
         assert!(traj.len() >= 4);
         // Access to inner scheduler still works.
         assert!(p.inner().ptt().invocations(site) >= 4);
+    }
+
+    /// Satellite check: the per-site decision history in the registry is
+    /// written at the trace push point, so the exposition and the trace
+    /// agree exactly — per site, histogram count == trace entry count and
+    /// the histogram sum of threads == the trajectory sum.
+    #[test]
+    fn registry_histograms_agree_with_trace() {
+        use crate::metrics::SchedulerMetrics;
+        use ilan_metrics::SampleValue;
+
+        let topo = presets::epyc_9354_2s();
+        let metrics = SchedulerMetrics::new();
+        let mut inner = IlanScheduler::new(IlanParams::for_topology(&topo));
+        inner.attach_metrics(metrics.clone());
+        let mut p = RecordingPolicy::new(inner).with_metrics(metrics.clone());
+
+        let time = |t: usize| 1e6 + t as f64 * 1e4;
+        for s in [0u64, 1, 0, 0, 1, 0] {
+            let site = SiteId::new(s);
+            let d = p.decide(site);
+            let threads = d.threads().unwrap();
+            p.record(site, &d, &TaskloopReport::synthetic(time(threads), threads));
+        }
+
+        let snap = metrics.registry().snapshot();
+        for s in [0u64, 1] {
+            let site = SiteId::new(s);
+            let label = site.to_string();
+            let hist = match snap
+                .get_with("ilan_sched_decision_threads", &[("site", label.as_str())])
+            {
+                Some(SampleValue::Histogram(h)) => h,
+                other => panic!("{site}: {other:?}"),
+            };
+            assert_eq!(hist.count, p.entries_for(site).count() as u64);
+            let traj_sum: usize = p.thread_trajectory(site).iter().sum();
+            assert_eq!(hist.sum, traj_sum as u64, "{site} thread sums differ");
+            let times = match snap
+                .get_with("ilan_sched_invocation_ns", &[("site", label.as_str())])
+            {
+                Some(SampleValue::Histogram(h)) => h,
+                other => panic!("{site}: {other:?}"),
+            };
+            assert_eq!(times.count, hist.count);
+        }
+        // The PTT saw exactly as many records as the trace holds.
+        assert_eq!(
+            snap.counter_total("ilan_sched_ptt_records"),
+            p.entries().len() as u64
+        );
     }
 
     #[test]

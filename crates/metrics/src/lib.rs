@@ -1,0 +1,60 @@
+//! **ilan-metrics** — always-on, near-zero-cost telemetry for the ILAN
+//! scheduler stack.
+//!
+//! ILAN's premise is a runtime that *measures itself*: the PTT is a
+//! performance trace table and Algorithm 1 steers on observed invocation
+//! times. This crate extends that stance to the whole stack with three
+//! complementary layers, cheapest first:
+//!
+//! 1. **Metrics** ([`Counter`], [`Gauge`], [`ShardedCounter`],
+//!    [`Histogram`]) — lock-free, allocation-free on the hot path, always
+//!    on. Counters are single cache-padded atomics; sharded counters give
+//!    each worker its own padded shard so increments never contend;
+//!    histograms are log-linear (HDR-style) with deterministic bucket
+//!    boundaries, so snapshots from different workers, processes, or runs
+//!    merge exactly.
+//! 2. **Registry** ([`Registry`]) — names and owns the metrics, takes
+//!    point-in-time [`MetricsSnapshot`]s with *delta* semantics
+//!    (`later.delta(&earlier)` isolates one run's activity), and renders
+//!    a deterministic OpenMetrics/Prometheus text exposition
+//!    ([`MetricsSnapshot::render`]): same state, same bytes.
+//! 3. **Flight recorder** ([`FlightRecorder`]) — a retrospective dump of
+//!    the most recent invocation's complete `ilan-trace` event log plus a
+//!    metrics snapshot, captured only when an anomaly fires (watchdog
+//!    degradation, injected fault, or a latency-histogram tail breach via
+//!    [`TailTracker`]). Post-mortems do not require re-running with
+//!    tracing enabled.
+//!
+//! The split mirrors the cost ladder: metrics are always on (a handful of
+//! relaxed atomics per invocation), flight recording is always armed (ring
+//! writes only, no collection until an anomaly), and full `ilan-trace`
+//! tracing stays opt-in for deep-dive runs.
+//!
+//! # Example
+//!
+//! ```
+//! use ilan_metrics::Registry;
+//!
+//! let reg = Registry::new();
+//! let dispatches = reg.counter("ilan_pool_dispatch", "Dispatched taskloop invocations");
+//! let latency = reg.histogram("ilan_pool_dispatch_ns", "Dispatch latency, ns");
+//!
+//! let before = reg.snapshot();
+//! dispatches.inc();
+//! latency.record(1_280);
+//! let delta = reg.snapshot().delta(&before);
+//! assert!(delta.render().contains("ilan_pool_dispatch_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod counter;
+mod expose;
+mod flight;
+mod histogram;
+mod registry;
+
+pub use counter::{Counter, Gauge, ShardedCounter};
+pub use flight::{FlightDump, FlightReason, FlightRecorder, TailTracker};
+pub use histogram::{bucket_bounds, bucket_index, HistSnapshot, Histogram, NUM_BUCKETS};
+pub use registry::{FamilyMeta, MetricKind, MetricsSnapshot, Registry, SampleValue, SeriesKey};

@@ -1,0 +1,154 @@
+//! Property-based tests for the histogram and exposition invariants
+//! (ISSUE 5 satellite): bucket containment, merge quantile bounds,
+//! snapshot/delta round-trips, and byte-deterministic exposition.
+
+use ilan_metrics::{bucket_bounds, bucket_index, Histogram, Registry, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every recorded value falls inside its reported bucket, over the
+    /// whole u64 range.
+    #[test]
+    fn recorded_value_falls_in_its_bucket(v in any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "v={v} not in bucket {idx} [{lo}, {hi}]");
+    }
+
+    /// Bucket assignment is monotone: a larger value never lands in a
+    /// smaller bucket.
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// merge(a, b) quantiles are bounded by the inputs' quantiles.
+    #[test]
+    fn merge_quantiles_bounded_by_inputs(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let a = hist_of(&xs).snapshot();
+        let b = hist_of(&ys).snapshot();
+        let m = a.merge(&b);
+        prop_assert_eq!(m.count, a.count + b.count);
+        let (qa, qb, qm) = (a.quantile(q), b.quantile(q), m.quantile(q));
+        prop_assert!(qm >= qa.min(qb), "q={q}: merged {qm} below min({qa}, {qb})");
+        prop_assert!(qm <= qa.max(qb), "q={q}: merged {qm} above max({qa}, {qb})");
+    }
+
+    /// A snapshot taken after more recording, minus the earlier snapshot,
+    /// is exactly the histogram of the later values alone.
+    #[test]
+    fn snapshot_delta_round_trip_exact(
+        first in proptest::collection::vec(any::<u64>(), 0..100),
+        second in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let h = hist_of(&first);
+        let before = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let after = h.snapshot();
+        let delta = after.delta(&before);
+        let expected = hist_of(&second).snapshot();
+        // Sums saturate independently; compare only when neither saturated.
+        let no_overflow = first.iter().chain(&second)
+            .try_fold(0u64, |acc, &v| acc.checked_add(v)).is_some();
+        if no_overflow {
+            prop_assert_eq!(&delta, &expected);
+        } else {
+            prop_assert_eq!(delta.buckets, expected.buckets);
+            prop_assert_eq!(delta.count, expected.count);
+        }
+        // And merging back reconstructs the full distribution.
+        prop_assert_eq!(before.merge(&expected).buckets, after.buckets);
+    }
+
+    /// Quantiles of any snapshot are sandwiched by the extreme recorded
+    /// values' bucket bounds.
+    #[test]
+    fn quantiles_within_recorded_range(
+        xs in proptest::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let s = hist_of(&xs).snapshot();
+        let min = *xs.iter().min().unwrap();
+        let max = *xs.iter().max().unwrap();
+        let quant = s.quantile(q);
+        prop_assert!(quant >= bucket_bounds(bucket_index(min)).0);
+        prop_assert!(quant <= bucket_bounds(bucket_index(max)).1);
+    }
+
+    /// The exposition text is byte-deterministic: two registries built by
+    /// the same operation sequence render identically, and re-rendering a
+    /// registry is stable.
+    #[test]
+    fn exposition_text_is_byte_deterministic(
+        counters in proptest::collection::vec((0usize..3, 0u64..1000), 0..10),
+        samples in proptest::collection::vec(0u64..10_000_000, 0..50),
+        gauge in any::<u64>(),
+    ) {
+        let gauge = gauge as i64;
+        let build = || {
+            let reg = Registry::new();
+            for &(name, n) in &counters {
+                let label = ["alpha", "beta", "gamma"][name];
+                reg.counter_with("ilan_ops", "ops", &[("k", label)]).add(n);
+            }
+            let h = reg.histogram("ilan_lat_ns", "latency");
+            for &v in &samples {
+                h.record(v);
+            }
+            reg.gauge("ilan_level", "level").set(gauge);
+            reg
+        };
+        let (ra, rb) = (build(), build());
+        let (ta, tb) = (ra.render(), rb.render());
+        prop_assert_eq!(&ta, &tb, "same construction must render identical bytes");
+        prop_assert_eq!(&ta, &ra.render(), "re-rendering must be stable");
+        prop_assert!(ta.ends_with("# EOF\n"));
+        // The registry-level delta of identical snapshots is all-zero
+        // counters and empty histograms.
+        let zero = ra.snapshot().delta(&ra.snapshot());
+        prop_assert_eq!(zero.counter_total("ilan_ops"), 0);
+        if let Some(h) = zero.histogram("ilan_lat_ns") {
+            prop_assert_eq!(h.count, 0);
+            prop_assert!(h.buckets.is_empty());
+        }
+    }
+
+    /// Histogram bucket lines in the exposition are cumulative and
+    /// consistent with `_count`.
+    #[test]
+    fn exposition_histogram_is_cumulative(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("h", "h");
+        for &v in &samples {
+            h.record(v);
+        }
+        let text = reg.render();
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let val: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            prop_assert!(val >= last, "bucket counts must be cumulative: {text}");
+            last = val;
+        }
+        prop_assert_eq!(last, samples.len() as u64, "+Inf bucket equals count");
+    }
+}

@@ -70,6 +70,7 @@ mod colo;
 mod engine;
 mod exec;
 mod machine;
+pub mod metrics;
 mod noise;
 mod outcome;
 mod params;
@@ -79,6 +80,7 @@ mod task;
 
 pub use colo::ColoMachine;
 pub use machine::SimMachine;
+pub use metrics::SimMetrics;
 pub use noise::NoiseParams;
 pub use outcome::{LoopOutcome, NodeOutcome, TaskRecord};
 pub use params::MachineParams;

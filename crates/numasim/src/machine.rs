@@ -1,6 +1,7 @@
 //! [`SimMachine`]: one simulated machine for the duration of one run.
 
 use crate::engine::Engine;
+use crate::metrics::SimMetrics;
 use crate::outcome::LoopOutcome;
 use crate::params::MachineParams;
 use crate::plan::PlacementPlan;
@@ -21,6 +22,7 @@ pub struct SimMachine {
     rng: StdRng,
     freqs: Vec<f64>,
     now_ns: f64,
+    metrics: Option<SimMetrics>,
 }
 
 impl SimMachine {
@@ -39,7 +41,21 @@ impl SimMachine {
             rng,
             freqs,
             now_ns: 0.0,
+            metrics: None,
         }
+    }
+
+    /// Attaches lane instruments: every subsequent invocation folds its
+    /// [`LoopOutcome`] into the given [`SimMetrics`]. Opt-in and free of
+    /// side effects on the simulation — the seeded noise, the clock and all
+    /// outcomes are byte-identical with or without metrics attached.
+    pub fn attach_metrics(&mut self, metrics: SimMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached instruments, if any.
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The machine's topology.
@@ -112,6 +128,9 @@ impl SimMachine {
         );
         let outcome = engine.run();
         self.now_ns += outcome.makespan_ns;
+        if let Some(m) = &self.metrics {
+            m.record_outcome(&outcome);
+        }
         outcome
     }
 
@@ -144,6 +163,9 @@ impl SimMachine {
         );
         let outcome = engine.run();
         self.now_ns += outcome.makespan_ns;
+        if let Some(m) = &self.metrics {
+            m.record_outcome(&outcome);
+        }
         outcome
     }
 }
@@ -248,6 +270,70 @@ mod tests {
         let topo = presets::tiny_2x4();
         let mut m = SimMachine::new(MachineParams::for_topology(&topo), 1);
         m.advance_serial(-1.0);
+    }
+
+    /// Differential check, simulator half: the lane counters and the
+    /// migration counter must agree with the traced event log and the
+    /// outcome of the same invocation — and attaching metrics must not
+    /// perturb the simulation.
+    #[test]
+    fn metrics_match_traced_event_log() {
+        use crate::metrics::SimMetrics;
+
+        let topo = presets::tiny_2x4();
+        // All work homed on node 0 with a fully stealable tail: node 1's
+        // idle workers must batch-steal, so migrations are guaranteed.
+        let plan = PlacementPlan::Hierarchical {
+            assignments: vec![crate::NodeAssignment {
+                node: NodeId::new(0),
+                tasks: (0..32).collect(),
+                strict_count: 0,
+            }],
+        };
+        let run = |metrics: Option<SimMetrics>| {
+            let mut m = SimMachine::new(MachineParams::for_topology(&topo).noiseless(), 3);
+            if let Some(metrics) = metrics {
+                m.attach_metrics(metrics);
+            }
+            let cores = m.topology().cpuset_of_mask(m.topology().all_nodes());
+            m.run_taskloop_traced(&cores, &plan, &tasks(32))
+        };
+
+        let metrics = SimMetrics::new();
+        let outcome = run(Some(metrics.clone()));
+        assert!(outcome.migrations > 0, "the stealable tail must migrate");
+
+        let snap = metrics.registry().snapshot();
+        assert_eq!(
+            snap.counter_total("ilan_sim_migrations") as usize,
+            outcome.migrations
+        );
+        // The traced event log tells the same story.
+        assert_eq!(outcome.events.inter_node_steals(), outcome.migrations);
+        // Lane task counters sum to the chunks executed, split per node.
+        assert_eq!(
+            snap.counter_total("ilan_sim_node_tasks") as usize,
+            outcome.tasks_executed()
+        );
+        for (i, node) in outcome.nodes.iter().enumerate() {
+            use ilan_metrics::SampleValue;
+            let label = i.to_string();
+            let local = match snap.get_with(
+                "ilan_sim_node_tasks",
+                &[("node", label.as_str()), ("locality", "local")],
+            ) {
+                Some(SampleValue::Counter(v)) => *v as usize,
+                None => 0,
+                other => panic!("node {i}: {other:?}"),
+            };
+            assert_eq!(local, node.local_tasks, "node {i} locality split");
+        }
+        assert_eq!(snap.counter_total("ilan_sim_loops"), 1);
+
+        // Metrics are purely observational: same seed, same outcome.
+        let bare = run(None);
+        assert_eq!(bare.makespan_ns, outcome.makespan_ns);
+        assert_eq!(bare.migrations, outcome.migrations);
     }
 
     #[test]

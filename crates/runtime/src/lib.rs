@@ -43,12 +43,14 @@
 
 mod chunk;
 mod latch;
+pub mod metrics;
 mod pin;
 mod pool;
 mod report;
 mod sleep;
 
 pub use chunk::{chunk_ranges, ChunkAssignment, Grain};
+pub use metrics::{PoolMetrics, TAIL_FACTOR, TAIL_MIN_SAMPLES};
 pub use pin::{pin_current_thread, PinMode};
 pub use pool::{
     ExecMode, PoolConfig, PoolError, StealPolicy, ThreadPool, WakeMode, DEFAULT_INLINE_THRESHOLD,
@@ -59,3 +61,7 @@ pub use report::{LoopReport, NodeReport};
 /// Event-tracing layer (re-exported): [`trace::EventLog`] is what the traced
 /// taskloop variants return.
 pub use ilan_trace as trace;
+
+/// Metrics layer (re-exported): counters, histograms, registries and the
+/// flight-recorder types the pool's [`PoolMetrics`] is built from.
+pub use ilan_metrics as metrics_core;

@@ -31,12 +31,14 @@
 
 use crate::chunk::{ChunkAssignment, Grain};
 use crate::latch::CountLatch;
+use crate::metrics::PoolMetrics;
 use crate::pin::{pin_current_thread, PinMode};
 use crate::report::{LoopReport, NodeReport};
 use crate::sleep::{Backoff, SleepSlot};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use crossbeam_utils::CachePadded;
 use ilan_faults::FaultPlan;
+use ilan_metrics::{FlightDump, FlightReason, ShardedCounter};
 use ilan_topology::{NodeId, NodeMask, Topology};
 use ilan_trace::{EventKind, EventLog, FaultTag, TraceSet, DISPATCHER};
 use parking_lot::Mutex;
@@ -149,6 +151,17 @@ pub struct PoolConfig {
     pub watchdog: Option<Duration>,
     /// Deterministic fault plan for chaos testing (see `ilan-faults`).
     pub faults: Option<FaultPlan>,
+    /// Whether the pool carries its always-on instrument panel
+    /// ([`PoolMetrics`]): counters, histograms and the flight recorder.
+    /// Default `true`; disabling exists for the overhead benchmark's
+    /// metrics-off baseline.
+    pub metrics: bool,
+    /// Whether the flight recorder keeps the per-worker trace rings filled
+    /// on untraced dispatched invocations, so an anomaly can dump the
+    /// complete invocation retrospectively. Default `true`; requires
+    /// [`metrics`](Self::metrics). Ring writes are the only cost until an
+    /// anomaly actually fires.
+    pub flight: bool,
 }
 
 impl PoolConfig {
@@ -162,6 +175,8 @@ impl PoolConfig {
             inline_threshold: DEFAULT_INLINE_THRESHOLD,
             watchdog: None,
             faults: None,
+            metrics: true,
+            flight: true,
         }
     }
 
@@ -193,6 +208,20 @@ impl PoolConfig {
     /// [`DEFAULT_WATCHDOG`] if no explicit deadline was set).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Enables or disables the instrument panel (default on). Disabling
+    /// also disables the flight recorder.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Enables or disables the flight recorder's always-on rings
+    /// (default on).
+    pub fn flight(mut self, on: bool) -> Self {
+        self.flight = on;
         self
     }
 }
@@ -339,11 +368,20 @@ impl RunData {
     /// branch otherwise.
     #[inline]
     fn emit(&self, worker: usize, node: NodeId, kind: EventKind) {
+        self.emit_at(worker, node, Instant::now(), kind);
+    }
+
+    /// Like [`emit`](Self::emit), but stamped with an [`Instant`] the caller
+    /// already holds — the hot path reuses the clock reads it takes anyway
+    /// (chunk timing, acquisition overhead) instead of paying one more per
+    /// event.
+    #[inline]
+    fn emit_at(&self, worker: usize, node: NodeId, at: Instant, kind: EventKind) {
         if let Some(trace) = &self.trace {
             trace.ring(worker).push(
                 worker as u32,
                 node.index() as u32,
-                self.t0.elapsed().as_nanos() as u64,
+                at.duration_since(self.t0).as_nanos() as u64,
                 kind,
             );
         }
@@ -384,6 +422,11 @@ struct Shared {
     /// Per-worker participation claims, `claim_word(epoch, state)` (see the
     /// CLAIM_* constants). Only meaningful while the watchdog is armed.
     claims: Vec<AtomicU64>,
+    /// The instrument panel; `None` only when `PoolConfig::metrics(false)`.
+    metrics: Option<PoolMetrics>,
+    /// Whether untraced dispatched invocations keep the trace rings filled
+    /// for the flight recorder.
+    flight: bool,
 }
 
 // SAFETY: the `UnsafeCell<RunData>` is governed by the epoch/latch protocol
@@ -452,6 +495,8 @@ impl ThreadPool {
             faults: config.faults.clone(),
             progress: CachePadded::new(AtomicU64::new(0)),
             claims: (0..cores).map(|_| AtomicU64::new(0)).collect(),
+            metrics: config.metrics.then(|| PoolMetrics::new(cores)),
+            flight: config.metrics && config.flight,
         });
 
         let pin_results: Arc<Vec<AtomicBool>> =
@@ -522,6 +567,26 @@ impl ThreadPool {
     /// Total worker count (== topology cores).
     pub fn num_workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The pool's instrument panel, unless built with
+    /// [`PoolConfig::metrics(false)`](PoolConfig::metrics).
+    pub fn metrics(&self) -> Option<&PoolMetrics> {
+        self.shared.metrics.as_ref()
+    }
+
+    /// Takes the flight recorder's parked anomaly dump, if one fired.
+    pub fn take_flight_dump(&self) -> Option<FlightDump> {
+        self.shared.metrics.as_ref()?.take_flight_dump()
+    }
+
+    /// The current OpenMetrics exposition (empty-but-valid when metrics
+    /// are disabled).
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .metrics
+            .as_ref()
+            .map_or_else(|| "# EOF\n".to_string(), |m| m.render())
     }
 
     /// Executes a taskloop over `range` with chunks of at most `grainsize`
@@ -650,10 +715,14 @@ impl ThreadPool {
         // traffic and no trace-ring writes.
         if !traced && (len <= self.inline_threshold || num_chunks <= 1) {
             self.run_inline(range, grainsize, num_chunks, &mode, body, report);
+            if let Some(m) = &self.shared.metrics {
+                m.loops_inline.inc();
+            }
             return None;
         }
 
         let _dispatch_guard = self.dispatch_lock.lock();
+        let dispatch_start = Instant::now();
         let shared = &*self.shared;
         let topo = &shared.topology;
         let num_nodes = topo.num_nodes();
@@ -675,7 +744,11 @@ impl ThreadPool {
             let rd = unsafe { &mut *shared.run.get() };
             rd.t0 = Instant::now();
 
-            rd.trace = if traced {
+            // Rings are installed for traced runs and — the flight recorder's
+            // always-on stance — for plain dispatched runs too, so an anomaly
+            // can dump the complete invocation it occurred in. The cache
+            // makes warm invocations allocation-free either way.
+            rd.trace = if traced || shared.flight {
                 // Generous ring bounds: a worker emits at most one
                 // acquisition, one start, and one end per chunk, plus its
                 // latch release and a possible steal-refusal marker; the
@@ -726,12 +799,16 @@ impl ThreadPool {
                 "queues left dirty by the previous invocation"
             );
 
+            // One timestamp for the whole placement loop: the enqueues span
+            // a few microseconds and ring order already fixes their sequence,
+            // so per-chunk clock reads buy nothing on the dispatch path.
+            let enq_ns = rd.t0.elapsed().as_nanos() as u64;
             rd.kind = match &mode {
                 ExecMode::Flat => {
                     rd.active.iter_mut().for_each(|a| *a = true);
                     for (idx, c) in rd.chunks.iter().enumerate() {
                         shared.queues.flat.push(idx);
-                        emit_enqueue(&rd.trace, rd.t0, idx, c.home, false);
+                        emit_enqueue(&rd.trace, enq_ns, idx, c.home, false);
                     }
                     QueueKind::Flat
                 }
@@ -744,7 +821,7 @@ impl ThreadPool {
                         rd.static_slices.push(lo..hi);
                     }
                     for (idx, c) in rd.chunks.iter().enumerate() {
-                        emit_enqueue(&rd.trace, rd.t0, idx, c.home, false);
+                        emit_enqueue(&rd.trace, enq_ns, idx, c.home, false);
                     }
                     QueueKind::Static
                 }
@@ -791,7 +868,7 @@ impl ThreadPool {
                             } else {
                                 shared.queues.shared[node.index()].push(idx);
                             }
-                            emit_enqueue(&rd.trace, rd.t0, idx, node, strict);
+                            emit_enqueue(&rd.trace, enq_ns, idx, node, strict);
                         }
                     }
                     QueueKind::Hier { policy: *policy }
@@ -838,11 +915,15 @@ impl ThreadPool {
         }
         // Chaos: record the plan's scheduled faults for this invocation on
         // the dispatcher ring, then post wakeups — skipping any the plan
-        // drops (the watchdog's broadcast escalation repairs those).
+        // drops (the watchdog's broadcast escalation repairs those). The
+        // count feeds the faults-injected counter and (as an anomaly) the
+        // flight recorder, whether or not rings are installed.
+        let mut faults_this_run: u64 = 0;
         if let Some(plan) = &shared.faults {
-            if rd.trace.is_some() {
-                for &w in plan.stalls().keys() {
-                    if (w as usize) < rd.active.len() && rd.active[w as usize] {
+            for &w in plan.stalls().keys() {
+                if (w as usize) < rd.active.len() && rd.active[w as usize] {
+                    faults_this_run += 1;
+                    if rd.trace.is_some() {
                         let node = topo.node_of_core(ilan_topology::CoreId::new(w as usize));
                         emit_dispatcher(
                             rd,
@@ -854,8 +935,11 @@ impl ThreadPool {
                         );
                     }
                 }
-                for &n in plan.slow_nodes().keys() {
-                    if (n as usize) < num_nodes {
+            }
+            for &n in plan.slow_nodes().keys() {
+                if (n as usize) < num_nodes {
+                    faults_this_run += 1;
+                    if rd.trace.is_some() {
                         emit_dispatcher(
                             rd,
                             n,
@@ -874,9 +958,11 @@ impl ThreadPool {
                 .as_ref()
                 .is_some_and(|p| p.drops_wakeup(epoch, i as u32))
         };
+        let mut wakeup_posts: u64 = 0;
         for (i, &a) in rd.active.iter().enumerate() {
             if a {
                 if drops_wakeup(i) {
+                    faults_this_run += 1;
                     let node = topo.node_of_core(ilan_topology::CoreId::new(i));
                     emit_dispatcher(
                         rd,
@@ -889,14 +975,17 @@ impl ThreadPool {
                     continue;
                 }
                 shared.slots[i].post(run_token);
+                wakeup_posts += 1;
             } else if self.wake == WakeMode::Broadcast {
                 shared.slots[i].post(idle_token);
+                wakeup_posts += 1;
             }
         }
-        let degraded = match shared.watchdog {
+        let dispatch_ns = dispatch_start.elapsed().as_nanos() as u64;
+        let degraded_stage = match shared.watchdog {
             None => {
                 shared.exit_latch.wait();
-                false
+                0
             }
             Some(deadline) => guarded_wait(shared, rd, epoch, run_token, idle_token, deadline),
         };
@@ -918,7 +1007,7 @@ impl ThreadPool {
             }));
         report.migrations = shared.migrations.load(Ordering::Acquire);
         report.threads = rd.threads;
-        report.degraded = degraded;
+        report.degraded = degraded_stage > 0;
         // The report's defining relation: a chunk is either local to the
         // node that ran it or it migrated there, never both, never neither.
         debug_assert_eq!(
@@ -927,15 +1016,85 @@ impl ThreadPool {
             "LoopReport inconsistent: tasks != local_tasks + migrations"
         );
 
+        // Dispatcher-side metrics: a few relaxed counter bumps and two
+        // histogram samples per dispatched invocation. The tail tracker
+        // owns `loop_ns`, so observing the makespan also records it.
+        let mut tail_breach: Option<(u64, u64)> = None;
+        if let Some(m) = &shared.metrics {
+            m.loops_dispatched.inc();
+            m.dispatch_ns.record(dispatch_ns);
+            match self.wake {
+                WakeMode::Targeted => m.wakeups_targeted.add(wakeup_posts),
+                WakeMode::Broadcast => m.wakeups_broadcast.add(wakeup_posts),
+            }
+            match degraded_stage {
+                1 => m.degraded_stage1.inc(),
+                2 => m.degraded_stage2.inc(),
+                _ => {}
+            }
+            if faults_this_run > 0 {
+                m.faults_injected.add(faults_this_run);
+            }
+            let mk = makespan.as_nanos() as u64;
+            if let Some(threshold_ns) = m.tail.observe(mk) {
+                tail_breach = Some((mk, threshold_ns));
+            }
+        }
+
         // SAFETY: all workers have quiesced (latch released above); the
         // shared reborrow `rd` is dead past this point.
         let rd = unsafe { &mut *shared.run.get() };
         rd.body = BodyPtr::noop();
-        rd.trace.take().map(|t| {
-            let log = t.collect(num_nodes);
+        let collected = rd.trace.take();
+        if traced {
+            return collected.map(|t| {
+                let log = t.collect(num_nodes);
+                rd.trace_cache = Some(t);
+                log
+            });
+        }
+
+        // Flight recorder: on an anomalous untraced invocation, collect the
+        // rings retrospectively (the only time an untraced run pays for log
+        // collection) and park the dump. Reason priority mirrors severity:
+        // a degradation outranks the injected fault that caused it, which
+        // outranks a mere slow tail.
+        if let Some(m) = &shared.metrics {
+            let reason = if degraded_stage > 0 {
+                Some(FlightReason::Degraded {
+                    stage: degraded_stage,
+                })
+            } else if faults_this_run > 0 {
+                Some(FlightReason::FaultInjected {
+                    count: faults_this_run,
+                })
+            } else {
+                tail_breach.map(|(observed_ns, threshold_ns)| FlightReason::TailBreach {
+                    observed_ns,
+                    threshold_ns,
+                })
+            };
+            if let Some(reason) = reason {
+                m.flight_triggers.inc();
+                match collected {
+                    Some(t) => {
+                        if m.flight.wants_capture() {
+                            let log = t.collect(num_nodes);
+                            m.flight.capture(reason, log, m.registry().render());
+                        } else {
+                            m.flight.note_trigger();
+                        }
+                        rd.trace_cache = Some(t);
+                    }
+                    None => m.flight.note_trigger(),
+                }
+                return None;
+            }
+        }
+        if let Some(t) = collected {
             rd.trace_cache = Some(t);
-            log
-        })
+        }
+        None
     }
 
     /// The sequential fast path: executes every chunk on the calling thread,
@@ -1003,12 +1162,13 @@ impl Drop for ThreadPool {
 }
 
 /// Records one chunk-placement event on the dispatcher ring, if tracing.
-fn emit_enqueue(trace: &Option<TraceSet>, t0: Instant, chunk: usize, home: NodeId, strict: bool) {
+/// `at_ns` is a timestamp the dispatch loop read once for all placements.
+fn emit_enqueue(trace: &Option<TraceSet>, at_ns: u64, chunk: usize, home: NodeId, strict: bool) {
     if let Some(trace) = trace {
         trace.dispatcher().push(
             DISPATCHER,
             home.index() as u32,
-            t0.elapsed().as_nanos() as u64,
+            at_ns,
             EventKind::ChunkEnqueue {
                 chunk: chunk as u32,
                 home: home.index() as u32,
@@ -1027,8 +1187,8 @@ fn emit_dispatcher(rd: &RunData, node: u32, kind: EventKind) {
     }
 }
 
-/// Deadline-bounded latch wait with two escalation stages. Returns whether
-/// the invocation degraded (needed any escalation to finish).
+/// Deadline-bounded latch wait with two escalation stages. Returns the
+/// highest escalation stage reached (0 = finished without help).
 ///
 /// Stage 0 waits out `deadline`, re-arming while chunks keep completing —
 /// slow progress is not a stall. Stage 1 degrades `WakeMode::Targeted` to a
@@ -1045,11 +1205,11 @@ fn guarded_wait(
     run_token: u64,
     idle_token: u64,
     deadline: Duration,
-) -> bool {
+) -> u8 {
     let mut last_progress = shared.progress.load(Ordering::Relaxed);
     loop {
         if shared.exit_latch.wait_for(deadline) {
-            return false;
+            return 0;
         }
         let now = shared.progress.load(Ordering::Relaxed);
         if now == last_progress {
@@ -1066,7 +1226,7 @@ fn guarded_wait(
     let mut last_progress = shared.progress.load(Ordering::Relaxed);
     loop {
         if shared.exit_latch.wait_for(deadline) {
-            return true;
+            return 1;
         }
         let now = shared.progress.load(Ordering::Relaxed);
         if now == last_progress {
@@ -1108,7 +1268,7 @@ fn guarded_wait(
     }
     // Whoever remains did start participating and will finish: wait them out.
     shared.exit_latch.wait();
-    true
+    2
 }
 
 /// Executes all work reachable from the dispatcher on behalf of `claimed`
@@ -1159,6 +1319,12 @@ fn drain_on_dispatcher(shared: &Shared, rd: &RunData, claimed: &[usize]) {
 fn execute_chunk_on_dispatcher(shared: &Shared, rd: &RunData, chunk_idx: usize) {
     let chunk = &rd.chunks[chunk_idx];
     let node = chunk.home.index() as u32;
+    if let Some(m) = &shared.metrics {
+        // The drain substitutes for the claimed worker on the chunk's home
+        // node, so the acquisition counts as a local pop — keeping the
+        // counters equal to the trace's steal matrix even in degraded runs.
+        m.acq_local_pop.add(0, 1);
+    }
     emit_dispatcher(
         rd,
         node,
@@ -1223,7 +1389,9 @@ fn wait_out_permanent_stall(shared: &Shared, index: usize, epoch: u64, seen: u64
 fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
     let mut seen = 0u64;
     loop {
+        let park_start = Instant::now();
         seen = shared.slots[index].wait(seen);
+        let park_ns = park_start.elapsed().as_nanos() as u64;
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -1267,11 +1435,11 @@ fn worker_main(shared: &Shared, index: usize, deque: &Deque<usize>) {
             // slot epoch store); the dispatcher takes no `&mut` until we pass
             // the exit-latch decrement below.
             let run = unsafe { &*shared.run.get() };
-            work(shared, run, index, deque);
+            let done_at = work(shared, run, index, deque, park_ns);
             let node = shared
                 .topology
                 .node_of_core(ilan_topology::CoreId::new(index));
-            run.emit(index, node, EventKind::LatchRelease);
+            run.emit_at(index, node, done_at, EventKind::LatchRelease);
         }
         shared.exit_latch.count_down();
         debug_assert!(deque.pop().is_none(), "worker left chunks in its deque");
@@ -1288,13 +1456,33 @@ struct WorkerTally {
     busy_ns: u64,
     migrations: usize,
     overhead_ns: u64,
+    park_ns: u64,
+    local_pops: u64,
+    intra_steals: u64,
+    inter_steals: u64,
+    attempts_local: u64,
+    attempts_remote: u64,
+    hits_local: u64,
+    hits_remote: u64,
 }
 
 impl WorkerTally {
+    /// Mirrors [`acquisition_kind`]'s classification, so the metrics
+    /// counters and the trace's steal matrix agree by construction.
+    fn count_acquisition(&mut self, migrated: bool, from_peer: bool) {
+        if migrated {
+            self.inter_steals += 1;
+        } else if from_peer {
+            self.intra_steals += 1;
+        } else {
+            self.local_pops += 1;
+        }
+    }
+
     /// Relaxed stores suffice: the exit-latch decrement (AcqRel) that
     /// follows the flush is what the dispatcher's latch wait synchronises
     /// with before reading.
-    fn flush(self, shared: &Shared, my_node: NodeId) {
+    fn flush(self, shared: &Shared, my_node: NodeId, worker: usize) {
         let stats = &shared.node_stats[my_node.index()];
         stats.tasks.fetch_add(self.tasks, Ordering::Relaxed);
         stats
@@ -1307,6 +1495,23 @@ impl WorkerTally {
         shared
             .overhead_ns
             .fetch_add(self.overhead_ns, Ordering::Relaxed);
+        if let Some(m) = &shared.metrics {
+            m.park_ns.record(self.park_ns);
+            // Zero tallies stay unflushed: on the common no-steal invocation
+            // this is one RMW (the local pops), not seven.
+            let add = |c: &ShardedCounter, n: u64| {
+                if n > 0 {
+                    c.add(worker, n);
+                }
+            };
+            add(&m.acq_local_pop, self.local_pops);
+            add(&m.acq_intra_steal, self.intra_steals);
+            add(&m.acq_inter_steal, self.inter_steals);
+            add(&m.steal_attempts_local, self.attempts_local);
+            add(&m.steal_attempts_remote, self.attempts_remote);
+            add(&m.steal_hits_local, self.hits_local);
+            add(&m.steal_hits_remote, self.hits_remote);
+        }
     }
 }
 
@@ -1321,14 +1526,15 @@ fn execute_chunk(
     tally: &mut WorkerTally,
 ) {
     let chunk = &run.chunks[chunk_idx];
-    run.emit(
+    let body_start = Instant::now();
+    run.emit_at(
         worker,
         my_node,
+        body_start,
         EventKind::ChunkStart {
             chunk: chunk_idx as u32,
         },
     );
-    let body_start = Instant::now();
     // SAFETY: the dispatcher keeps the body alive until exit_latch releases,
     // which happens after this call returns.
     let body = unsafe { &*run.body.0 };
@@ -1364,9 +1570,10 @@ fn execute_chunk(
     if migrated {
         tally.migrations += 1;
     }
-    run.emit(
+    run.emit_at(
         worker,
         my_node,
+        body_start + elapsed,
         EventKind::ChunkEnd {
             chunk: chunk_idx as u32,
         },
@@ -1379,16 +1586,28 @@ fn execute_chunk(
 }
 
 /// Pops or steals chunk indices until no work is reachable for this worker.
-fn work(shared: &Shared, run: &RunData, index: usize, deque: &Deque<usize>) {
+/// Returns the instant the worker observed no more reachable work, so the
+/// caller can stamp its latch-release event without another clock read.
+fn work(
+    shared: &Shared,
+    run: &RunData,
+    index: usize,
+    deque: &Deque<usize>,
+    park_ns: u64,
+) -> Instant {
     let topo = &shared.topology;
     let my_core = ilan_topology::CoreId::new(index);
     let my_node = topo.node_of_core(my_core);
-    let mut tally = WorkerTally::default();
+    let mut tally = WorkerTally {
+        park_ns,
+        ..WorkerTally::default()
+    };
 
     if let QueueKind::Static = run.kind {
         // Work-sharing: drain the private slice, nothing to steal.
         for chunk_idx in run.static_slices[index].clone() {
             let migrated = run.chunks[chunk_idx].home != my_node;
+            tally.count_acquisition(migrated, false);
             if run.trace.is_some() {
                 run.emit(
                     index,
@@ -1398,36 +1617,42 @@ fn work(shared: &Shared, run: &RunData, index: usize, deque: &Deque<usize>) {
             }
             execute_chunk(shared, run, chunk_idx, index, my_node, migrated, &mut tally);
         }
-        tally.flush(shared, my_node);
-        return;
+        tally.flush(shared, my_node, index);
+        return Instant::now();
     }
 
+    let done_at;
     loop {
         let acquire_start = Instant::now();
         // Fast path: the private deque (filled by earlier batch steals).
         let acquired = match deque.pop() {
             Some(i) => Some((i, None)),
-            None => acquire(shared, run, index, my_node, topo, deque),
+            None => acquire(shared, run, index, my_node, topo, deque, &mut tally),
         };
-        tally.overhead_ns += acquire_start.elapsed().as_nanos() as u64;
+        let acquire_elapsed = acquire_start.elapsed();
+        tally.overhead_ns += acquire_elapsed.as_nanos() as u64;
         let Some((chunk_idx, victim)) = acquired else {
+            done_at = acquire_start + acquire_elapsed;
             break;
         };
         // A chunk migrated iff it executes away from its assigned node —
         // regardless of which queue it physically travelled through (a peer's
         // deque may hold chunks that were batch-stolen from a remote node).
         let migrated = run.chunks[chunk_idx].home != my_node;
+        tally.count_acquisition(migrated, victim.is_some());
         if run.trace.is_some() {
-            run.emit(
+            run.emit_at(
                 index,
                 my_node,
+                acquire_start + acquire_elapsed,
                 acquisition_kind(run, chunk_idx, my_node, victim),
             );
         }
         execute_chunk(shared, run, chunk_idx, index, my_node, migrated, &mut tally);
     }
 
-    tally.flush(shared, my_node);
+    tally.flush(shared, my_node, index);
+    done_at
 }
 
 /// Classifies an acquisition by its locality outcome: crossing nodes is an
@@ -1470,35 +1695,57 @@ fn acquire(
     my_node: NodeId,
     topo: &Topology,
     deque: &Deque<usize>,
+    tally: &mut WorkerTally,
 ) -> Option<(usize, Option<usize>)> {
     match run.kind {
         QueueKind::Flat => {
+            tally.attempts_local += 1;
             if let Some(i) = batch_steal_until(&shared.queues.flat, deque) {
+                tally.hits_local += 1;
                 return Some((i, None));
             }
             // Steal from peer deques anywhere (the flat baseline is
-            // NUMA-oblivious), scanning from the next worker around.
+            // NUMA-oblivious), scanning from the next worker around. Probe
+            // scope follows the victim's node, not the queue the chunk was
+            // assigned to — it measures where the probe traffic lands.
             let n = shared.stealers.len();
             for k in 1..n {
                 let v = (index + k) % n;
+                let remote = topo.node_of_core(ilan_topology::CoreId::new(v)) != my_node;
+                if remote {
+                    tally.attempts_remote += 1;
+                } else {
+                    tally.attempts_local += 1;
+                }
                 if let Some(i) = peer_steal_until(&shared.stealers[v], deque) {
+                    if remote {
+                        tally.hits_remote += 1;
+                    } else {
+                        tally.hits_local += 1;
+                    }
                     return Some((i, Some(v)));
                 }
             }
             None
         }
         QueueKind::Hier { policy } => {
+            tally.attempts_local += 1;
             if let Some(i) = batch_steal_until(&shared.queues.strict[my_node.index()], deque) {
+                tally.hits_local += 1;
                 return Some((i, None));
             }
+            tally.attempts_local += 1;
             if let Some(i) = batch_steal_until(&shared.queues.shared[my_node.index()], deque) {
+                tally.hits_local += 1;
                 return Some((i, None));
             }
             // Intra-node peer deques (chunks there stay on this node unless
             // the peer had already pulled them across).
             for peer in topo.cores_of_node(my_node) {
                 if peer.index() != index {
+                    tally.attempts_local += 1;
                     if let Some(i) = peer_steal_until(&shared.stealers[peer.index()], deque) {
+                        tally.hits_local += 1;
                         return Some((i, Some(peer.index())));
                     }
                 }
@@ -1525,8 +1772,10 @@ fn acquire(
                 // nearest-first. Never their private deques — those may hold
                 // NUMA-strict chunks.
                 for victim in topo.distances().neighbors_by_distance(my_node) {
+                    tally.attempts_remote += 1;
                     if let Some(i) = batch_steal_until(&shared.queues.shared[victim.index()], deque)
                     {
+                        tally.hits_remote += 1;
                         return Some((i, None));
                     }
                 }

@@ -39,6 +39,7 @@ mod metrics;
 mod partition;
 mod report;
 mod server;
+mod telemetry;
 mod tenant;
 
 pub use job::{generate_stream, JobPriority, JobSpec, StreamParams};
@@ -46,6 +47,8 @@ pub use metrics::{summarize, ColoSummary, JobRecord};
 pub use partition::{demand_ratio, is_bandwidth_hungry, Partitioner, SharingPolicy, ALL_POLICIES};
 pub use report::{compare_policies, ColoExperiment};
 pub use server::{
-    run_colocation, run_colocation_faulty, ColoRunReport, PttStore, ServerConfig, RETRY_BACKOFF_NS,
+    run_colocation, run_colocation_faulty, run_colocation_report, ColoRunReport, PttStore,
+    ServerConfig, RETRY_BACKOFF_NS,
 };
+pub use telemetry::ServerMetrics;
 pub use tenant::{confine_app, Tenant};

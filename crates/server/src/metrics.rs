@@ -84,6 +84,8 @@ pub struct ColoSummary {
     pub per_workload: BTreeMap<&'static str, f64>,
     /// Jobs whose scheduler was warm-started.
     pub warm_jobs: usize,
+    /// Mean per-job scheduling overhead across the job's invocations, ns.
+    pub mean_sched_overhead_ns: f64,
 }
 
 /// Nearest-rank percentile of pre-sorted `sorted` (q in (0, 100]).
@@ -123,6 +125,8 @@ pub fn summarize(policy: &'static str, records: &[JobRecord]) -> ColoSummary {
             .map(|(k, (sum, n))| (k, sum / n as f64))
             .collect(),
         warm_jobs: records.iter().filter(|r| r.warm_started).count(),
+        mean_sched_overhead_ns: records.iter().map(|r| r.sched_overhead_ns).sum::<f64>()
+            / records.len() as f64,
     }
 }
 
@@ -143,10 +147,11 @@ impl fmt::Display for ColoSummary {
         )?;
         writeln!(
             f,
-            "  latency p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            "  latency p50={:.2}ms p95={:.2}ms p99={:.2}ms sched-overhead={:.1}us/job",
             ms(self.p50_ns),
             ms(self.p95_ns),
-            ms(self.p99_ns)
+            ms(self.p99_ns),
+            self.mean_sched_overhead_ns * 1e-3
         )?;
         write!(
             f,
@@ -180,7 +185,7 @@ mod tests {
             finish_ns: finish,
             partition_nodes: 2,
             warm_started: id % 2 == 1,
-            sched_overhead_ns: 0.0,
+            sched_overhead_ns: (id + 1) as f64 * 10_000.0,
             isolated_ns: isolated,
         }
     }
@@ -209,6 +214,8 @@ mod tests {
         assert_eq!(s.per_workload["Matmul"], 4.0);
         assert_eq!(s.warm_jobs, 1);
         assert_eq!(s.p95_ns, 4e6);
+        // Mean of 10us and 20us of per-job scheduling overhead.
+        assert!((s.mean_sched_overhead_ns - 15_000.0).abs() < 1e-9);
     }
 
     #[test]
@@ -221,5 +228,6 @@ mod tests {
         let b = summarize("p", &records).to_string();
         assert_eq!(a, b);
         assert!(a.contains("ANTT="));
+        assert!(a.contains("sched-overhead=15.0us/job"));
     }
 }

@@ -33,6 +33,7 @@
 use crate::job::{JobPriority, JobSpec};
 use crate::metrics::JobRecord;
 use crate::partition::{is_bandwidth_hungry, Partitioner, SharingPolicy};
+use crate::telemetry::ServerMetrics;
 use crate::tenant::Tenant;
 use ilan::ptt::Ptt;
 use ilan_faults::FaultPlan;
@@ -189,6 +190,18 @@ pub fn run_colocation(config: &ServerConfig, stream: &[JobSpec], seed: u64) -> V
     run_colocation_impl(config, stream, seed, None).records
 }
 
+/// Like [`run_colocation`], returning the full [`ColoRunReport`] — including
+/// the live-metrics exposition ([`ColoRunReport::metrics_text`]) — instead
+/// of just the records. A fault-free run has every degradation counter at
+/// zero.
+pub fn run_colocation_report(
+    config: &ServerConfig,
+    stream: &[JobSpec],
+    seed: u64,
+) -> ColoRunReport {
+    run_colocation_impl(config, stream, seed, None)
+}
+
 /// Outcome of a colocation run under fault injection: the served jobs plus
 /// the degradations the service absorbed. Produced by
 /// [`run_colocation_faulty`]; a fault-free run has every counter at zero.
@@ -208,6 +221,19 @@ pub struct ColoRunReport {
     /// Warm-start attempts that found a stored-but-unparsable PTT and fell
     /// back to a cold start.
     pub recovered_cold_starts: usize,
+    /// Final OpenMetrics exposition of the run's live series (see
+    /// [`metrics_text`](Self::metrics_text)).
+    metrics_text: String,
+}
+
+impl ColoRunReport {
+    /// The run's live-metrics exposition: admission/shed/retry counters and
+    /// per-workload latency, wait and overhead histograms, rendered as
+    /// OpenMetrics text at the end of the run. Deterministic — the same
+    /// `(config, stream, seed, plan)` renders byte-identical text.
+    pub fn metrics_text(&self) -> &str {
+        &self.metrics_text
+    }
 }
 
 impl fmt::Display for ColoRunReport {
@@ -249,6 +275,7 @@ fn run_colocation_impl(
     let mut machine = ColoMachine::new(params.clone(), seed);
     let mut partitioner = Partitioner::new(config.policy, topo, config.max_tenants);
     let mut store = PttStore::default();
+    let metrics = ServerMetrics::new();
 
     // Static demand classification and isolated baselines, one per distinct
     // (workload, steps) in stream order.
@@ -312,6 +339,7 @@ fn run_colocation_impl(
             next_pending += 1;
             if shed_limit.is_some_and(|limit| waiting.len() >= limit) {
                 shed.push(job);
+                metrics.sheds.inc();
             } else {
                 waiting.push(job);
             }
@@ -334,11 +362,16 @@ fn run_colocation_impl(
                             // Stored but unparsable: a corrupted save the
                             // lenient loader degraded to a cold start.
                             recovered_cold_starts += 1;
+                            metrics.cold_recoveries.inc();
                         }
                         loaded
                     } else {
                         None
                     };
+                    metrics.admissions.inc();
+                    if warm.is_some() {
+                        metrics.warm_starts.inc();
+                    }
                     let lane = machine.add_lane();
                     let mut tenant =
                         Tenant::new(job, partition, hungry, topo, config.scale, warm, lane, now);
@@ -348,6 +381,8 @@ fn run_colocation_impl(
                 None => i += 1,
             }
         }
+        metrics.active_tenants.set(tenants.len() as i64);
+        metrics.waiting_jobs.set(waiting.len() as i64);
 
         // Advance the machine to the next completion or arrival.
         let next_arrival = pending.get(next_pending).map(|j| j.arrival_ns);
@@ -377,12 +412,13 @@ fn run_colocation_impl(
             if tenant.attempts() < failures {
                 tenant.retry_current(&mut machine, RETRY_BACKOFF_NS);
                 retries += 1;
+                metrics.retries.inc();
                 continue;
             }
             if tenant.on_completion(&outcome) {
                 let tenant = tenants.remove(&lane).expect("just seen");
                 let key = (tenant.job.workload, tenant.job.steps);
-                records.push(JobRecord {
+                let record = JobRecord {
                     id: tenant.job.id,
                     workload: tenant.job.workload,
                     priority: tenant.job.priority,
@@ -393,13 +429,16 @@ fn run_colocation_impl(
                     warm_started: tenant.warm_started,
                     sched_overhead_ns: tenant.sched_overhead_ns,
                     isolated_ns: baselines[&key],
-                });
+                };
+                metrics.note_completion(&record);
+                records.push(record);
                 if config.warm_start {
                     let mut text = tenant.scheduler().ptt().save_text();
                     if let Some(p) = faults {
                         if p.corrupts_ptt(save_index) {
                             text = p.corrupt_text(&text);
                             corrupted_saves += 1;
+                            metrics.corrupted_saves.inc();
                         }
                     }
                     save_index += 1;
@@ -419,11 +458,13 @@ fn run_colocation_impl(
                         j.arrival_ns = machine.now_ns();
                         if shed_limit.is_some_and(|limit| waiting.len() >= limit) {
                             shed.push(j);
+                            metrics.sheds.inc();
                         } else {
                             waiting.push(j);
                         }
                     }
                     injected_jobs += b.jobs;
+                    metrics.burst_jobs.add(b.jobs as u64);
                 }
             } else {
                 tenant.start_next(&mut machine);
@@ -436,6 +477,8 @@ fn run_colocation_impl(
         stream.len() + injected_jobs,
         "every submitted job must complete or be accounted as shed"
     );
+    metrics.active_tenants.set(0);
+    metrics.waiting_jobs.set(0);
     ColoRunReport {
         records,
         shed,
@@ -443,6 +486,7 @@ fn run_colocation_impl(
         injected_jobs,
         corrupted_saves,
         recovered_cold_starts,
+        metrics_text: metrics.render(),
     }
 }
 
@@ -653,6 +697,76 @@ mod tests {
         // Burst jobs carry fresh ids above the stream's.
         let max_stream_id = stream.iter().map(|j| j.id).max().unwrap();
         assert!(report.records.iter().any(|r| r.id > max_stream_id));
+    }
+
+    /// The live exposition agrees with the run's record-level accounting and
+    /// is byte-deterministic across replays.
+    #[test]
+    fn metrics_text_agrees_with_report() {
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(3, &StreamParams::mixed(6, 2e6));
+        let report = run_colocation_report(&cfg, &stream, 3);
+        let text = report.metrics_text();
+        assert!(text.ends_with("# EOF\n"));
+        // Every stream job was admitted exactly once and completed.
+        assert!(
+            text.contains(&format!(
+                "ilan_server_admissions_total {}",
+                report.records.len()
+            )),
+            "admissions line missing in:\n{text}"
+        );
+        // Per-workload completion counters sum to the records.
+        let completions: u64 = text
+            .lines()
+            .filter(|l| l.starts_with("ilan_server_completions_total"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(completions as usize, report.records.len());
+        // Warm starts in the exposition match the records.
+        let warm = report.records.iter().filter(|r| r.warm_started).count();
+        assert!(text.contains(&format!("ilan_server_warm_starts_total {warm}")));
+        // Idle at the end: the gauges read zero.
+        assert!(text.contains("ilan_server_active_tenants 0"));
+        assert!(text.contains("ilan_server_waiting_jobs 0"));
+        // No faults injected: every degradation counter reads zero.
+        for family in [
+            "ilan_server_sheds_total 0",
+            "ilan_server_retries_total 0",
+            "ilan_server_corrupted_saves_total 0",
+            "ilan_server_burst_jobs_total 0",
+        ] {
+            assert!(text.contains(family), "missing `{family}` in:\n{text}");
+        }
+        // Determinism: the replay renders byte-identical text.
+        let replay = run_colocation_report(&cfg, &stream, 3);
+        assert_eq!(text, replay.metrics_text());
+    }
+
+    /// Under a fault plan, the degradation counters in the exposition match
+    /// the report's accounting exactly.
+    #[test]
+    fn faulty_metrics_text_counts_degradations() {
+        use ilan_faults::{FaultConfig, FaultPlan};
+        let cfg = quick_config(SharingPolicy::StaticEqual);
+        let stream = generate_stream(2, &StreamParams::mixed(4, 1e6));
+        let config = FaultConfig {
+            max_loop_failures: 2,
+            loop_failure_denom: 3,
+            ..FaultConfig::none()
+        };
+        let plan = (0..1_000u64)
+            .map(|s| FaultPlan::new(s, 8, 2, config))
+            .find(|p| (0..4u64).any(|j| (0..8u64).any(|i| p.loop_failures(j, i) > 0)))
+            .expect("some seed injects a loop failure");
+        let report = run_colocation_faulty(&cfg, &stream, 2, &plan);
+        assert!(report.retries > 0);
+        let text = report.metrics_text();
+        assert!(
+            text.contains(&format!("ilan_server_retries_total {}", report.retries)),
+            "retry counter disagrees with report in:\n{text}"
+        );
+        assert!(text.contains(&format!("ilan_server_sheds_total {}", report.shed.len())));
     }
 
     #[test]

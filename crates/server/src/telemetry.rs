@@ -1,0 +1,187 @@
+//! Live serving instruments: what the colocation loop looks like *while it
+//! runs*, as opposed to the after-the-fact reduction in
+//! [`ColoSummary`](crate::ColoSummary).
+//!
+//! One [`ServerMetrics`] is built per [`run_colocation`](crate::run_colocation)
+//! (or faulty) run; the serving loop updates it at each admission, shed,
+//! retry and completion, and the final exposition rides along in the run's
+//! [`ColoRunReport::metrics_text`](crate::ColoRunReport::metrics_text).
+//! Identical runs render byte-identical text (the registry's `BTreeMap`
+//! ordering plus the simulator's determinism).
+//!
+//! Metric families (all prefixed `ilan_server_`):
+//!
+//! | family | kind | meaning |
+//! |---|---|---|
+//! | `admissions` | counter | jobs granted a partition |
+//! | `completions` | counter (`workload`) | jobs finished, per workload |
+//! | `sheds` | counter | arrivals dropped by the overloaded queue |
+//! | `retries` | counter | invocations resubmitted after injected failures |
+//! | `warm_starts` | counter | tenants seeded from a stored PTT |
+//! | `cold_recoveries` | counter | corrupted stored PTTs degraded to cold starts |
+//! | `corrupted_saves` | counter | PTT saves written with corrupted text |
+//! | `burst_jobs` | counter | extra jobs injected by fault-plan bursts |
+//! | `active_tenants` | gauge | tenants currently holding a partition |
+//! | `waiting_jobs` | gauge | jobs currently queued for admission |
+//! | `job_latency_ns` | histogram (`workload`) | submission-to-completion latency |
+//! | `job_wait_ns` | histogram (`workload`) | queueing delay before admission |
+//! | `sched_overhead_ns` | histogram (`workload`) | per-job scheduling overhead |
+
+use crate::metrics::JobRecord;
+use ilan_metrics::{Counter, Gauge, Registry};
+
+/// Instruments of one serving run (see module docs). Clones alias the same
+/// underlying series.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    registry: Registry,
+    pub(crate) admissions: Counter,
+    pub(crate) sheds: Counter,
+    pub(crate) retries: Counter,
+    pub(crate) warm_starts: Counter,
+    pub(crate) cold_recoveries: Counter,
+    pub(crate) corrupted_saves: Counter,
+    pub(crate) burst_jobs: Counter,
+    pub(crate) active_tenants: Gauge,
+    pub(crate) waiting_jobs: Gauge,
+}
+
+impl ServerMetrics {
+    /// Instruments registered into a fresh registry.
+    pub fn new() -> Self {
+        Self::with_registry(Registry::new())
+    }
+
+    /// Instruments registered into `registry` — share one registry across
+    /// layers to render a single exposition.
+    pub fn with_registry(registry: Registry) -> Self {
+        ServerMetrics {
+            admissions: registry.counter("ilan_server_admissions", "Jobs granted a partition"),
+            sheds: registry.counter(
+                "ilan_server_sheds",
+                "Arrivals dropped by the overloaded admission queue",
+            ),
+            retries: registry.counter(
+                "ilan_server_retries",
+                "Invocations resubmitted after injected loop failures",
+            ),
+            warm_starts: registry.counter(
+                "ilan_server_warm_starts",
+                "Tenants whose scheduler was seeded from a stored PTT",
+            ),
+            cold_recoveries: registry.counter(
+                "ilan_server_cold_recoveries",
+                "Corrupted stored PTTs degraded to cold starts at load",
+            ),
+            corrupted_saves: registry.counter(
+                "ilan_server_corrupted_saves",
+                "PTT saves written with corrupted text",
+            ),
+            burst_jobs: registry.counter(
+                "ilan_server_burst_jobs",
+                "Extra jobs injected by fault-plan bursts",
+            ),
+            active_tenants: registry.gauge(
+                "ilan_server_active_tenants",
+                "Tenants currently holding a partition",
+            ),
+            waiting_jobs: registry.gauge(
+                "ilan_server_waiting_jobs",
+                "Jobs currently queued for admission",
+            ),
+            registry,
+        }
+    }
+
+    /// The underlying registry: snapshot it, delta it, render it.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The current OpenMetrics exposition.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+
+    /// Folds one completed job into the per-workload (per-tenant-class)
+    /// series: the completion counter and the latency / wait / overhead
+    /// histograms, all labelled by workload display name.
+    pub fn note_completion(&self, record: &JobRecord) {
+        let workload = record.workload.name();
+        let labels: &[(&str, &str)] = &[("workload", workload)];
+        self.registry
+            .counter_with("ilan_server_completions", "Jobs finished", labels)
+            .inc();
+        let hist = |name: &str, help: &str, value: f64| {
+            self.registry
+                .histogram_with(name, help, labels)
+                .record(value.max(0.0) as u64);
+        };
+        hist(
+            "ilan_server_job_latency_ns",
+            "Submission-to-completion job latency, ns",
+            record.latency_ns(),
+        );
+        hist(
+            "ilan_server_job_wait_ns",
+            "Queueing delay before admission, ns",
+            record.wait_ns(),
+        );
+        hist(
+            "ilan_server_sched_overhead_ns",
+            "Scheduling overhead accumulated per job, ns",
+            record.sched_overhead_ns,
+        );
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobPriority;
+    use ilan_metrics::SampleValue;
+    use ilan_workloads::Workload;
+
+    #[test]
+    fn completion_feeds_per_workload_series() {
+        let m = ServerMetrics::new();
+        let record = |workload, finish: f64| JobRecord {
+            id: 0,
+            workload,
+            priority: JobPriority::Normal,
+            arrival_ns: 0.0,
+            admitted_ns: 100.0,
+            finish_ns: finish,
+            partition_nodes: 2,
+            warm_started: false,
+            sched_overhead_ns: 5_000.0,
+            isolated_ns: 1.0,
+        };
+        m.note_completion(&record(Workload::Cg, 1_000.0));
+        m.note_completion(&record(Workload::Cg, 2_000.0));
+        m.note_completion(&record(Workload::Matmul, 3_000.0));
+        m.admissions.add(3);
+        m.active_tenants.set(1);
+        let snap = m.registry().snapshot();
+        assert_eq!(
+            snap.get_with("ilan_server_completions", &[("workload", "CG")]),
+            Some(&SampleValue::Counter(2))
+        );
+        let lat = match snap.get_with("ilan_server_job_latency_ns", &[("workload", "CG")]) {
+            Some(SampleValue::Histogram(h)) => h,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 3_000);
+        let text = m.render();
+        assert!(text.contains("ilan_server_admissions_total 3"));
+        assert!(text.contains("ilan_server_active_tenants 1"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+}
